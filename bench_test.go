@@ -1,0 +1,331 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (one benchmark per artifact), plus ablation benches for the
+// design choices DESIGN.md calls out and microbenchmarks of the hot
+// substrates.
+//
+// The experiment benches share one memoized Study, so the first benchmark
+// that needs an artifact pays for it and the rest reuse it; a full
+//
+//	go test -bench=. -benchmem
+//
+// run therefore costs roughly one complete 147-workload study on a single
+// core (tens of minutes). Individual artifacts can be regenerated with
+// -bench=BenchmarkTable4 etc., or via cmd/pkaexp.
+package pka
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"pka/internal/cluster"
+	"pka/internal/experiments"
+	"pka/internal/pkp"
+	"pka/internal/sim"
+	"pka/internal/stats"
+	"pka/internal/workload"
+)
+
+var (
+	studyOnce sync.Once
+	study     *experiments.Study
+)
+
+// saveArtifact persists a regenerated table/figure under results/ (the
+// testing framework truncates long benchmark logs, so files are the
+// durable record) and returns a short preview for the log.
+func saveArtifact(b *testing.B, name string, parts ...interface{}) {
+	b.Helper()
+	var sb strings.Builder
+	for _, p := range parts {
+		switch v := p.(type) {
+		case *Table:
+			sb.WriteString(v.String())
+		case *Chart:
+			sb.WriteString(v.String())
+		case []*Chart:
+			for _, c := range v {
+				sb.WriteString(c.String())
+				sb.WriteByte('\n')
+			}
+		case string:
+			sb.WriteString(v)
+		}
+		sb.WriteByte('\n')
+	}
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		b.Logf("results dir: %v", err)
+		return
+	}
+	path := filepath.Join("results", name+".txt")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		b.Logf("writing %s: %v", path, err)
+		return
+	}
+	lines := strings.Split(sb.String(), "\n")
+	n := len(lines)
+	if n > 6 {
+		n = 6
+	}
+	b.Logf("full artifact in %s; head:\n%s", path, strings.Join(lines[:n], "\n"))
+}
+
+func sharedStudy() *experiments.Study {
+	studyOnce.Do(func() { study = experiments.New() })
+	return study
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	s := sharedStudy()
+	for i := 0; i < b.N; i++ {
+		chart, tab, err := experiments.Figure1(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			saveArtifact(b, "figure1", chart, tab)
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	s := sharedStudy()
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Table3(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			saveArtifact(b, "table3", tab)
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	s := sharedStudy()
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Figure4(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			saveArtifact(b, "figure4", tab)
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	s := sharedStudy()
+	for i := 0; i < b.N; i++ {
+		charts, tab, err := experiments.Figure5(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			saveArtifact(b, "figure5", charts, tab)
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	s := sharedStudy()
+	for i := 0; i < b.N; i++ {
+		chart, tab, err := experiments.Figure6(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			saveArtifact(b, "figure6", chart, tab)
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	s := sharedStudy()
+	for i := 0; i < b.N; i++ {
+		chart, tab, err := experiments.Figure7(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			saveArtifact(b, "figure7", chart, tab)
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	s := sharedStudy()
+	for i := 0; i < b.N; i++ {
+		chart, tab, err := experiments.Figure8(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			saveArtifact(b, "figure8", chart, tab)
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	s := sharedStudy()
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Table4(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			parts := []interface{}{tab}
+			if sum, err := experiments.Table4SuiteSummary(s); err == nil {
+				parts = append(parts, sum)
+			}
+			saveArtifact(b, "table4", parts...)
+		}
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	s := sharedStudy()
+	for i := 0; i < b.N; i++ {
+		chart, tab, err := experiments.Figure9(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			saveArtifact(b, "figure9", chart, tab)
+		}
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	s := sharedStudy()
+	for i := 0; i < b.N; i++ {
+		chart, tab, err := experiments.Figure10(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			saveArtifact(b, "figure10", chart, tab)
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md's design-choice list) ---
+
+func benchAblation(b *testing.B, name string, f func(*experiments.Study) (*Table, error)) {
+	b.Helper()
+	s := sharedStudy()
+	for i := 0; i < b.N; i++ {
+		tab, err := f(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			saveArtifact(b, name, tab)
+		}
+	}
+}
+
+func BenchmarkAblationRepPolicy(b *testing.B) {
+	benchAblation(b, "ablation-reppolicy", experiments.AblationRepPolicy)
+}
+
+func BenchmarkAblationPKPThreshold(b *testing.B) {
+	benchAblation(b, "ablation-pkpthreshold", experiments.AblationPKPThreshold)
+}
+
+func BenchmarkAblationWaveConstraint(b *testing.B) {
+	benchAblation(b, "ablation-waveconstraint", experiments.AblationWaveConstraint)
+}
+
+func BenchmarkAblationPCA(b *testing.B) {
+	benchAblation(b, "ablation-pca", experiments.AblationPCA)
+}
+
+func BenchmarkAblationClusteringScale(b *testing.B) {
+	benchAblation(b, "ablation-clusteringscale", experiments.AblationClusteringScale)
+}
+
+func BenchmarkAblationClassifier(b *testing.B) {
+	benchAblation(b, "ablation-classifier", experiments.AblationClassifier)
+}
+
+// --- Substrate microbenchmarks ---
+
+// BenchmarkSimulatorThroughput measures the cycle-level simulator's warp-
+// instruction rate on a mixed kernel.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	k := KernelDesc{
+		Name: "bench", Grid: D1(640), Block: D1(256),
+		Mix:              InstrMix{Compute: 120, GlobalLoads: 12, SharedLoads: 20},
+		CoalescingFactor: 4, WorkingSetBytes: 32 << 20, StridedFraction: 0.7,
+		DivergenceEff: 0.95, Seed: 42,
+	}
+	var warpInstrs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.New(VoltaV100()).RunKernel(&k, sim.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		warpInstrs += res.WarpInstrs
+	}
+	b.ReportMetric(float64(warpInstrs)/b.Elapsed().Seconds()/1e6, "Mwi/s")
+}
+
+// BenchmarkSiliconModel measures the analytical hardware model's kernel
+// evaluation rate — it must stay in the nanoseconds for million-kernel
+// silicon walks.
+func BenchmarkSiliconModel(b *testing.B) {
+	w := workload.Find("MLPerf/ssd_training")
+	k := w.Kernel(12345)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExecuteSilicon(VoltaV100(), &k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKMeansSweep measures the PKS clustering sweep on a
+// profiler-scale point set.
+func BenchmarkKMeansSweep(b *testing.B) {
+	rng := stats.NewRNG(9)
+	pts := make([][]float64, 5000)
+	for i := range pts {
+		pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 1; k <= 10; k++ {
+			if _, err := cluster.KMeans(pts, k, cluster.KMeansOptions{Seed: uint64(k)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkRollingDetector measures PKP's per-cycle bookkeeping cost.
+func BenchmarkRollingDetector(b *testing.B) {
+	p := pkp.New(pkp.Options{})
+	t := &sim.Telemetry{WaveSize: 80, BlocksTotal: 800, IssuedThisCycle: 256}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Cycle = int64(i)
+		p.Tick(t)
+	}
+}
+
+// BenchmarkWorkloadGeneration measures index-based kernel generation,
+// which streaming million-kernel profiling passes depend on.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	w := workload.Find("MLPerf/bert_offline_inf")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := w.Kernel(i % w.N)
+		if k.Grid.X == 0 {
+			b.Fatal("bad kernel")
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Command pka runs the Principal Kernel Analysis pipeline on one workload:
+// silicon ground truth, Principal Kernel Selection, and sampled simulation
+// with and without Principal Kernel Projection, reporting errors, speedups
+// and projected simulation times.
+//
+// Usage:
+//
+//	pka -list                             # list study workloads
+//	pka -w Rodinia/gauss_208              # full pipeline on one workload
+//	pka -w Polybench/fdtd2d -target 2 -s 0.1
+//	pka -w MLPerf/ssd_training -device turing -selection-only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pka/internal/core"
+	"pka/internal/gpu"
+	"pka/internal/pkp"
+	"pka/internal/pks"
+	"pka/internal/report"
+	"pka/internal/workload"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list the 147 study workloads")
+		wname   = flag.String("w", "", "workload full name (suite/name)")
+		device  = flag.String("device", "volta", "volta | turing | ampere | volta40")
+		target  = flag.Float64("target", 5, "PKS target selection error (%)")
+		sThresh = flag.Float64("s", pkp.DefaultThreshold, "PKP stability threshold s")
+		window  = flag.Int("n", pkp.DefaultWindow, "PKP rolling window (cycles)")
+		selOnly = flag.Bool("selection-only", false, "stop after Principal Kernel Selection")
+		maxK    = flag.Int("maxk", 20, "K-Means sweep bound")
+		jsonOut = flag.String("json", "", "write the selection (groups, representatives, weights) to this JSON file")
+		wfile   = flag.String("workload-file", "", "analyze a user-defined workload from a JSON document instead of -w")
+	)
+	flag.Parse()
+
+	if *list {
+		bysuite := map[string][]string{}
+		var suites []string
+		for _, w := range workload.All() {
+			if len(bysuite[w.Suite]) == 0 {
+				suites = append(suites, w.Suite)
+			}
+			bysuite[w.Suite] = append(bysuite[w.Suite], fmt.Sprintf("%-40s %8d kernels", w.FullName(), w.N))
+		}
+		for _, s := range suites {
+			fmt.Printf("%s (%d workloads)\n", s, len(bysuite[s]))
+			sort.Strings(bysuite[s])
+			for _, l := range bysuite[s] {
+				fmt.Println("  " + l)
+			}
+		}
+		return
+	}
+	var w *workload.Workload
+	switch {
+	case *wfile != "":
+		var err error
+		w, err = workload.LoadJSON(*wfile)
+		if err != nil {
+			fatal(err)
+		}
+	case *wname != "":
+		w = workload.Find(*wname)
+		if w == nil {
+			fatal(fmt.Errorf("unknown workload %q (try -list)", *wname))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var dev gpu.Device
+	switch *device {
+	case "volta":
+		dev = gpu.VoltaV100()
+	case "turing":
+		dev = gpu.TuringRTX2060()
+	case "ampere":
+		dev = gpu.AmpereRTX3070()
+	case "volta40":
+		dev = gpu.VoltaV100().WithSMs(40)
+	default:
+		fatal(fmt.Errorf("unknown device %q", *device))
+	}
+
+	cfg := core.Config{
+		Device: dev,
+		PKS:    pks.Options{TargetErrorPct: *target, MaxK: *maxK},
+		PKP:    pkp.Options{Threshold: *sThresh, Window: *window},
+	}
+
+	fmt.Printf("workload   %s (%d kernels) on %s\n", w.FullName(), w.N, dev.Name)
+	if w.Quirk != "" {
+		fmt.Printf("quirk      %s (the paper excludes this workload from some result columns)\n", w.Quirk)
+	}
+
+	sel, err := pks.Select(dev, w, cfg.PKS)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nPrincipal Kernel Selection\n")
+	fmt.Printf("  groups (K)            %d\n", sel.K)
+	fmt.Printf("  two-level profiling   %v (%d of %d kernels detailed)\n", sel.TwoLevel, sel.DetailedKernels, sel.TotalKernels)
+	if sel.TwoLevel {
+		fmt.Printf("  classifier accuracy   %.3f\n", sel.ClassifierAccuracy)
+	}
+	fmt.Printf("  profiling time        %s (modeled)\n", report.Seconds(sel.ProfilingSeconds))
+	fmt.Printf("  selection error       %.2f%% (silicon, target %.1f%%)\n", sel.SelectionErrorPct, *target)
+	fmt.Printf("  silicon speedup       %.1fx\n", sel.SiliconSpeedup)
+	tab := &report.Table{Columns: []string{"Group", "Rep kernel ID", "Rep name", "Population"}}
+	for gi, g := range sel.Groups {
+		tab.AddRow(fmt.Sprint(gi), fmt.Sprint(g.RepIndex), g.Representative.Name, fmt.Sprint(g.Count()))
+	}
+	fmt.Println()
+	fmt.Println(tab)
+	if *jsonOut != "" {
+		if err := sel.SaveJSON(*jsonOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("selection written to %s\n\n", *jsonOut)
+	}
+	if *selOnly {
+		return
+	}
+
+	ev, err := core.Evaluate(cfg, w)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("simulation (modeled Accel-Sim rate %.0f warp-instr/s)\n", core.DefaultSimRate)
+	if ev.Full != nil {
+		fmt.Printf("  full simulation       %s, error %.1f%% vs silicon\n",
+			report.Hours(ev.FullSimHours), ev.FullErrorPct)
+	} else {
+		fmt.Printf("  full simulation       infeasible (projected %s)\n", report.Hours(ev.FullSimHours))
+	}
+	fmt.Printf("  PKS                   %s (%.1fx), error %.1f%%\n",
+		report.Hours(ev.PKS.SimHours), ev.PKS.SpeedupVsFull, ev.PKS.ErrorPct)
+	fmt.Printf("  PKA (PKS+PKP)         %s (%.1fx), error %.1f%%\n",
+		report.Hours(ev.PKA.SimHours), ev.PKA.SpeedupVsFull, ev.PKA.ErrorPct)
+	fmt.Printf("  PKA projected DRAM    %.1f%%\n", ev.PKA.DRAMUtil*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pka:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Archsweep: the relative-accuracy case study architects care about
+// (paper Section 5.3 / Figure 10). Halve the V100's SMs MPS-style and ask
+// whether PKA predicts the same speedup ranking silicon does — without
+// full simulation.
+//
+//	go run ./examples/archsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pka"
+)
+
+func main() {
+	full := pka.VoltaV100()
+	half := full.WithSMs(40)
+
+	workloads := []string{
+		"Rodinia/srad_v1",  // compute-lean stencil
+		"Parboil/histo",    // atomic-heavy
+		"Polybench/gemm",   // dense compute
+		"Rodinia/bfs65536", // irregular graph
+		"Cutlass/256x256x256_sgemm",
+	}
+	fmt.Printf("%-30s %10s %10s %10s\n", "workload", "silicon", "PKA", "delta")
+	var maeSum float64
+	var n int
+	for _, name := range workloads {
+		w := pka.FindWorkload(name)
+		if w == nil {
+			log.Fatalf("missing workload %s", name)
+		}
+		// Silicon: the ground truth speedup of 80 SMs over 40.
+		silFull, err := appSilicon(full, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		silHalf, err := appSilicon(half, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		silSpeed := silHalf / silFull
+
+		// PKA: selection on the full device, sampled simulation on both.
+		sel, err := pka.Select(full, w, pka.SelectOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pkaFull, err := pka.RunSampled(pka.Config{Device: full}, w, sel, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pkaHalf, err := pka.RunSampled(pka.Config{Device: half}, w, sel, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pkaSpeed := float64(pkaHalf.ProjCycles) / float64(pkaFull.ProjCycles)
+
+		delta := 100 * (pkaSpeed - silSpeed) / silSpeed
+		if delta < 0 {
+			delta = -delta
+		}
+		maeSum += delta
+		n++
+		fmt.Printf("%-30s %9.2fx %9.2fx %9.1f%%\n", name, silSpeed, pkaSpeed, delta)
+	}
+	fmt.Printf("\nmean absolute speedup error vs silicon: %.1f%% (paper Figure 10: PKA 10.1%%)\n", maeSum/float64(n))
+	fmt.Println("bandwidth-bound workloads should show ~1x; compute-bound ones approach 2x")
+}
+
+// appSilicon returns the workload's total silicon kernel seconds.
+func appSilicon(dev pka.Device, w *pka.Workload) (float64, error) {
+	var sec float64
+	next := w.Iterator()
+	for k := next(); k != nil; k = next() {
+		r, err := pka.ExecuteSilicon(dev, k)
+		if err != nil {
+			return 0, err
+		}
+		sec += r.TimeSeconds
+	}
+	return sec, nil
+}

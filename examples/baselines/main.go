@@ -1,0 +1,81 @@
+// Baselines: the paper's Section 5.1 comparison in miniature — full
+// simulation, the first-N-instructions heuristic, TBPoint, and PKA on one
+// workload, reporting each method's simulated work and application-cycle
+// error against silicon.
+//
+//	go run ./examples/baselines [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"pka"
+)
+
+func main() {
+	name := "Polybench/fdtd2d"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w := pka.FindWorkload(name)
+	if w == nil {
+		log.Fatalf("unknown workload %q (see cmd/pka -list)", name)
+	}
+	dev := pka.VoltaV100()
+	fmt.Printf("%s: %d kernels on %s\n\n", w.FullName(), w.N, dev.Name)
+
+	// Ground truth.
+	var silCycles int64
+	next := w.Iterator()
+	for k := next(); k != nil; k = next() {
+		r, err := pka.ExecuteSilicon(dev, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		silCycles += r.Cycles + 2500 // launch overhead, as the models charge it
+	}
+
+	errPct := func(proj int64) float64 {
+		d := float64(proj-silCycles) / float64(silCycles) * 100
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	fmt.Printf("%-22s %16s %14s %10s\n", "method", "simulated warpinstr", "proj cycles", "err vs sil")
+
+	full, err := pka.FullSim(dev, w, 0)
+	if err != nil {
+		log.Fatalf("full simulation: %v", err)
+	}
+	fmt.Printf("%-22s %16d %14d %9.1f%%\n", "full simulation", full.SimWarpInstrs, full.ProjCycles, errPct(full.ProjCycles))
+
+	oneB, err := pka.FirstN(dev, w, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %16d %14d %9.1f%%\n", "first-N instructions", oneB.SimWarpInstrs, oneB.ProjCycles, errPct(oneB.ProjCycles))
+
+	sel, err := pka.Select(dev, w, pka.SelectOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := pka.Config{Device: dev}
+	pksSim, err := pka.RunSampled(cfg, w, sel, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %16d %14d %9.1f%%\n", "PKS", pksSim.SimWarpInstrs, pksSim.ProjCycles, errPct(pksSim.ProjCycles))
+
+	pkaSim, err := pka.RunSampled(cfg, w, sel, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %16d %14d %9.1f%%\n", "PKA (PKS+PKP)", pkaSim.SimWarpInstrs, pkaSim.ProjCycles, errPct(pkaSim.ProjCycles))
+
+	fmt.Printf("\nPKA reduced simulated work %.0fx vs full simulation (K=%d groups of %d kernels)\n",
+		float64(full.SimWarpInstrs)/float64(pkaSim.SimWarpInstrs), sel.K, w.N)
+	fmt.Println("TBPoint comparison: see `go test -bench=BenchmarkFigure7 -benchtime=1x .`")
+}

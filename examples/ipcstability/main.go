@@ -1,0 +1,82 @@
+// IPC stability: visualize the observation Principal Kernel Projection is
+// built on (paper Section 3.2 / Figure 5) — the instantaneous IPC of GPU
+// kernels, even irregular ones, stabilizes around its final average. The
+// example traces two kernels, draws their IPC/L2/DRAM series as ASCII
+// charts, and marks where PKP would stop at each threshold.
+//
+//	go run ./examples/ipcstability
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pka"
+	"pka/internal/report"
+)
+
+func main() {
+	dev := pka.VoltaV100()
+	for _, spec := range []struct {
+		label, wname string
+		kernelID     int
+	}{
+		{"regular: atax matvec", "Polybench/atax", 0},
+		{"irregular: bfs frontier", "Rodinia/bfs65536", 8},
+	} {
+		w := pka.FindWorkload(spec.wname)
+		if w == nil {
+			log.Fatalf("missing %s", spec.wname)
+		}
+		k := w.Kernel(spec.kernelID)
+		full, err := pka.NewSimulator(dev).RunKernel(&k, pka.SimOptions{TraceEvery: 250})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		chart := &pka.Chart{
+			Title:  spec.label,
+			YLabel: "normalized IPC / rates",
+		}
+		var ipc, l2, dram []float64
+		peak := 1.0
+		for _, s := range full.Trace {
+			if s.IPC > peak {
+				peak = s.IPC
+			}
+		}
+		for _, s := range full.Trace {
+			ipc = append(ipc, s.IPC/peak)
+			l2 = append(l2, s.L2Miss)
+			dram = append(dram, s.DRAMUtil)
+		}
+		chart.Series = []report.Series{
+			{Name: "IPC / peak", Values: ipc},
+			{Name: "L2 miss rate", Values: l2},
+			{Name: "DRAM utilization", Values: dram},
+		}
+		fmt.Println(chart)
+
+		fmt.Printf("full kernel: %d cycles, %d/%d blocks\n", full.Cycles, full.BlocksCompleted, full.BlocksTotal)
+		for _, s := range []float64{2.5, 0.25, 0.025} {
+			p := pka.NewProjector(pka.ProjectorOptions{Threshold: s})
+			res, err := pka.NewSimulator(dev).RunKernel(&k, pka.SimOptions{Controller: p})
+			if err != nil {
+				log.Fatal(err)
+			}
+			proj := p.Projection(res)
+			errPct := 100 * abs(float64(proj.Cycles)-float64(full.Cycles)) / float64(full.Cycles)
+			fmt.Printf("  s=%-6g stop@%-8d cycles  projection %-8d  error %5.1f%%  speedup %.1fx\n",
+				s, res.Cycles, proj.Cycles, errPct, float64(full.Cycles)/float64(res.Cycles))
+		}
+		fmt.Println()
+	}
+	fmt.Println("smaller s waits longer for confidence: more cycles, less error — the paper's tunable tradeoff.")
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

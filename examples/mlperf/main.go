@@ -1,0 +1,83 @@
+// MLPerf: the paper's headline scenario — workloads with hundreds of
+// thousands of kernel launches whose detailed profiling would take longer
+// than a week, forcing two-level profiling: detailed metrics for a prefix,
+// name+dims for the rest, and an SGD/NaiveBayes/MLP ensemble mapping the
+// lightly-profiled kernels onto the detailed groups.
+//
+//	go run ./examples/mlperf
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"pka"
+)
+
+func main() {
+	dev := pka.VoltaV100()
+	for _, name := range []string{
+		"MLPerf/resnet50_64b_inf", // fully profileable, like the paper
+		"MLPerf/ssd_training",     // the launch-count monster: two-level
+	} {
+		w := pka.FindWorkload(name)
+		if w == nil {
+			log.Fatalf("workload %s missing", name)
+		}
+		fmt.Printf("%s: %d kernel launches\n", w.FullName(), w.N)
+
+		t0 := time.Now()
+		sel, err := pka.Select(dev, w, pka.SelectOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  selection wall time        %v\n", time.Since(t0).Round(time.Millisecond))
+		fmt.Printf("  two-level profiling        %v (%d of %d kernels detailed)\n",
+			sel.TwoLevel, sel.DetailedKernels, sel.TotalKernels)
+		if sel.TwoLevel {
+			fmt.Printf("  classifier accuracy        %.3f (SGD+GNB+MLP ensemble)\n", sel.ClassifierAccuracy)
+		}
+		fmt.Printf("  modeled profiling cost     %.1f days\n", sel.ProfilingSeconds/86400)
+		fmt.Printf("  groups (K)                 %d\n", sel.K)
+		fmt.Printf("  selection error            %.1f%% vs silicon\n", sel.SelectionErrorPct)
+		fmt.Printf("  silicon speedup            %.0fx\n", sel.SiliconSpeedup)
+
+		// Per-group composition, Figure-4 style.
+		type gc struct {
+			rep   string
+			count int
+		}
+		var gcs []gc
+		for _, g := range sel.Groups {
+			gcs = append(gcs, gc{g.Representative.Name, g.Count()})
+		}
+		sort.Slice(gcs, func(i, j int) bool { return gcs[i].count > gcs[j].count })
+		for i, g := range gcs {
+			if i == 5 {
+				fmt.Printf("    ... and %d more groups\n", len(gcs)-5)
+				break
+			}
+			fmt.Printf("    group rep %-28s population %d\n", g.rep, g.count)
+		}
+
+		// PKA: simulate only the representatives, stopping each at IPC
+		// stability, and project the whole application.
+		cfg := pka.Config{Device: dev}
+		pkaSim, err := pka.RunSampled(cfg, w, sel, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  PKA simulated work         %d warp-instructions (projected sim time %s at the modeled Accel-Sim rate)\n",
+			pkaSim.SimWarpInstrs, fmtHours(pkaSim.SimHours))
+		fmt.Printf("  PKA projected cycles       %d\n\n", pkaSim.ProjCycles)
+	}
+}
+
+func fmtHours(h float64) string {
+	if h < 1 {
+		return fmt.Sprintf("%.0f min", h*60)
+	}
+	return fmt.Sprintf("%.1f h", h)
+}

@@ -1,0 +1,172 @@
+// Package classify implements the supervised models PKA's two-level
+// profiling uses to map lightly-profiled kernels onto the groups discovered
+// by detailed profiling: multiclass logistic regression trained with
+// stochastic gradient descent, Gaussian Naive Bayes, and a one-hidden-layer
+// multilayer perceptron, plus a majority-vote ensemble over all three
+// (mirroring the paper, which runs all three models).
+package classify
+
+import (
+	"errors"
+	"math"
+
+	"pka/internal/stats"
+)
+
+// Classifier is a multiclass model over dense feature vectors.
+type Classifier interface {
+	// Fit trains on rows X with labels y in [0, numClasses).
+	Fit(X [][]float64, y []int, numClasses int) error
+	// Predict returns the most likely class for x.
+	Predict(x []float64) int
+	// Name identifies the model in reports.
+	Name() string
+}
+
+var (
+	errNoData   = errors.New("classify: no training data")
+	errBadLabel = errors.New("classify: label out of range")
+	errRagged   = errors.New("classify: ragged feature dimensions")
+	errNotFit   = errors.New("classify: model not fitted")
+)
+
+func validate(X [][]float64, y []int, numClasses int) (dim int, err error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return 0, errNoData
+	}
+	if numClasses < 1 {
+		return 0, errors.New("classify: numClasses must be >= 1")
+	}
+	dim = len(X[0])
+	for _, row := range X {
+		if len(row) != dim {
+			return 0, errRagged
+		}
+	}
+	for _, label := range y {
+		if label < 0 || label >= numClasses {
+			return 0, errBadLabel
+		}
+	}
+	return dim, nil
+}
+
+// scaler standardizes features using training-set statistics.
+type scaler struct {
+	mean, scale []float64
+}
+
+func fitScaler(X [][]float64) *scaler {
+	dim := len(X[0])
+	s := &scaler{mean: make([]float64, dim), scale: make([]float64, dim)}
+	for _, row := range X {
+		for j, v := range row {
+			s.mean[j] += v
+		}
+	}
+	n := float64(len(X))
+	for j := range s.mean {
+		s.mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			d := v - s.mean[j]
+			s.scale[j] += d * d
+		}
+	}
+	for j := range s.scale {
+		s.scale[j] = math.Sqrt(s.scale[j] / n)
+		if s.scale[j] == 0 {
+			s.scale[j] = 1
+		}
+	}
+	return s
+}
+
+func (s *scaler) apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.mean[j]) / s.scale[j]
+	}
+	return out
+}
+
+// argmax returns the index of the largest value.
+func argmax(xs []float64) int {
+	best, bestV := 0, math.Inf(-1)
+	for i, v := range xs {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// Ensemble predicts with a majority vote over its members; ties break
+// toward the member listed first (the paper's pipeline treats the three
+// models as interchangeable, so tie policy only needs to be deterministic).
+type Ensemble struct {
+	Members []Classifier
+}
+
+// NewEnsemble builds the paper's three-model ensemble with a shared seed.
+func NewEnsemble(seed uint64) *Ensemble {
+	return &Ensemble{Members: []Classifier{
+		NewSGD(seed),
+		NewGaussianNB(),
+		NewMLP(seed + 1),
+	}}
+}
+
+// Name implements Classifier.
+func (e *Ensemble) Name() string { return "ensemble(sgd,gnb,mlp)" }
+
+// Fit trains every member on the same data.
+func (e *Ensemble) Fit(X [][]float64, y []int, numClasses int) error {
+	if len(e.Members) == 0 {
+		return errors.New("classify: ensemble has no members")
+	}
+	for _, m := range e.Members {
+		if err := m.Fit(X, y, numClasses); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Predict returns the majority vote of the members.
+func (e *Ensemble) Predict(x []float64) int {
+	votes := map[int]int{}
+	order := make([]int, 0, len(e.Members))
+	for _, m := range e.Members {
+		p := m.Predict(x)
+		if votes[p] == 0 {
+			order = append(order, p)
+		}
+		votes[p]++
+	}
+	best, bestV := order[0], votes[order[0]]
+	for _, p := range order[1:] {
+		if votes[p] > bestV {
+			best, bestV = p, votes[p]
+		}
+	}
+	return best
+}
+
+// Accuracy returns the fraction of rows the model classifies correctly.
+func Accuracy(m Classifier, X [][]float64, y []int) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, row := range X {
+		if m.Predict(row) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(X))
+}
+
+// shuffledIndices returns a deterministic permutation for epoch shuffling.
+func shuffledIndices(n int, rng *stats.RNG) []int { return rng.Perm(n) }

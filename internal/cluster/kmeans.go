@@ -1,0 +1,228 @@
+// Package cluster implements the two clustering algorithms the paper
+// contrasts: K-Means (used by Principal Kernel Selection, chosen because it
+// scales to millions of kernels and exposes an interpretable K parameter)
+// and agglomerative hierarchical clustering (used by the TBPoint baseline,
+// which the paper shows does not scale).
+package cluster
+
+import (
+	"errors"
+	"math"
+
+	"pka/internal/stats"
+)
+
+// KMeansResult holds a fitted clustering.
+type KMeansResult struct {
+	K          int
+	Centers    [][]float64
+	Assignment []int   // Assignment[i] is the cluster of point i
+	Sizes      []int   // points per cluster
+	Inertia    float64 // sum of squared distances to assigned centers
+	Iterations int
+}
+
+// KMeansOptions controls the Lloyd iteration.
+type KMeansOptions struct {
+	MaxIterations int    // default 100
+	Seed          uint64 // RNG seed for k-means++ initialization
+	Tolerance     float64
+}
+
+func (o *KMeansOptions) fill() {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 100
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-7
+	}
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// KMeans clusters points into k groups using k-means++ seeding followed by
+// Lloyd's iterations. Empty clusters are repaired by re-seeding them with
+// the point farthest from its current center, so the result always has
+// exactly k non-degenerate groups when k <= len(points) distinct points
+// exist. The run is deterministic for a given seed.
+func KMeans(points [][]float64, k int, opts KMeansOptions) (*KMeansResult, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, errors.New("cluster: no points")
+	}
+	if k < 1 {
+		return nil, errors.New("cluster: k must be >= 1")
+	}
+	if k > n {
+		k = n
+	}
+	dim := len(points[0])
+	for _, p := range points {
+		if len(p) != dim {
+			return nil, errors.New("cluster: ragged point dimensions")
+		}
+	}
+	opts.fill()
+	rng := stats.NewRNG(opts.Seed ^ 0xC0FFEE)
+
+	centers := seedPlusPlus(points, k, rng)
+	assign := make([]int, n)
+	sizes := make([]int, k)
+	dist := make([]float64, n)
+
+	var iter int
+	for iter = 0; iter < opts.MaxIterations; iter++ {
+		// Assignment step.
+		changed := false
+		for i := range sizes {
+			sizes[i] = 0
+		}
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if d := sqDist(p, ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				changed = true
+			}
+			assign[i] = best
+			dist[i] = bestD
+			sizes[best]++
+		}
+
+		// Repair empty clusters with the globally farthest point.
+		for c := 0; c < k; c++ {
+			if sizes[c] > 0 {
+				continue
+			}
+			far, farD := -1, -1.0
+			for i := range points {
+				if sizes[assign[i]] > 1 && dist[i] > farD {
+					far, farD = i, dist[i]
+				}
+			}
+			if far < 0 {
+				continue // fewer distinct points than clusters
+			}
+			sizes[assign[far]]--
+			assign[far] = c
+			sizes[c] = 1
+			centers[c] = append([]float64(nil), points[far]...)
+			changed = true
+		}
+
+		// Update step.
+		next := make([][]float64, k)
+		for c := range next {
+			next[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := next[assign[i]]
+			for j, v := range p {
+				c[j] += v
+			}
+		}
+		var shift float64
+		for c := range next {
+			if sizes[c] == 0 {
+				copy(next[c], centers[c])
+				continue
+			}
+			inv := 1 / float64(sizes[c])
+			for j := range next[c] {
+				next[c][j] *= inv
+			}
+			shift += sqDist(next[c], centers[c])
+		}
+		centers = next
+		if !changed || shift < opts.Tolerance {
+			iter++
+			break
+		}
+	}
+
+	var inertia float64
+	for i, p := range points {
+		inertia += sqDist(p, centers[assign[i]])
+	}
+	return &KMeansResult{
+		K:          k,
+		Centers:    centers,
+		Assignment: assign,
+		Sizes:      sizes,
+		Inertia:    inertia,
+		Iterations: iter,
+	}, nil
+}
+
+// seedPlusPlus implements k-means++ initialization.
+func seedPlusPlus(points [][]float64, k int, rng *stats.RNG) [][]float64 {
+	n := len(points)
+	centers := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	centers = append(centers, append([]float64(nil), points[first]...))
+
+	d2 := make([]float64, n)
+	for i, p := range points {
+		d2[i] = sqDist(p, centers[0])
+	}
+	for len(centers) < k {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var idx int
+		if total <= 0 {
+			idx = rng.Intn(n) // all points coincide with some center
+		} else {
+			target := rng.Float64() * total
+			var cum float64
+			for i, d := range d2 {
+				cum += d
+				if cum >= target {
+					idx = i
+					break
+				}
+			}
+		}
+		ctr := append([]float64(nil), points[idx]...)
+		centers = append(centers, ctr)
+		for i, p := range points {
+			if d := sqDist(p, ctr); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centers
+}
+
+// NearestCenter returns the index of the center closest to p.
+func (r *KMeansResult) NearestCenter(p []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, ctr := range r.Centers {
+		if d := sqDist(p, ctr); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// Members returns the point indices belonging to cluster c, in input order.
+func (r *KMeansResult) Members(c int) []int {
+	var out []int
+	for i, a := range r.Assignment {
+		if a == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+// Package core assembles the full Principal Kernel Analysis pipeline the
+// paper evaluates: silicon ground truth → Principal Kernel Selection →
+// sampled cycle-level simulation of the representative kernels (optionally
+// cut short by Principal Kernel Projection) → application-level projections
+// of cycles, IPC, and DRAM utilization, with error and speedup accounting
+// against both silicon and full simulation.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"pka/internal/gpu"
+	"pka/internal/pkp"
+	"pka/internal/pks"
+	"pka/internal/sampling"
+	"pka/internal/silicon"
+	"pka/internal/sim"
+	"pka/internal/stats"
+	"pka/internal/workload"
+)
+
+// DefaultSimRate is the modeled Accel-Sim simulation speed in warp
+// instructions per second, used to convert simulated work into the
+// "SimTime [H]" projections of Table 4 and the time axes of Figures 1 and
+// 6. Accel-Sim executes a few thousand instructions per second per the
+// paper's Figure 1 projections; the tables in EXPERIMENTS.md use this
+// constant throughout.
+const DefaultSimRate = 3000.0
+
+// Config parameterizes an evaluation.
+type Config struct {
+	Device gpu.Device
+	PKS    pks.Options
+	PKP    pkp.Options
+	// SimRate converts simulated warp instructions to projected
+	// simulation wall time. Zero applies DefaultSimRate.
+	SimRate float64
+	// FullSimBudget bounds the warp instructions actually simulated for
+	// full-simulation baselines. Zero applies the sampling default.
+	FullSimBudget int64
+	// KernelCapCycles is a per-kernel runaway guard for sampled runs;
+	// capped kernels are linearly extrapolated and flagged. Zero applies
+	// sim.DefaultMaxCycles.
+	KernelCapCycles int64
+}
+
+// SimHours converts simulated work into projected simulation wall-clock
+// hours at the configured rate.
+func (c Config) SimHours(warpInstrs int64) float64 {
+	rate := c.SimRate
+	if rate <= 0 {
+		rate = DefaultSimRate
+	}
+	return float64(warpInstrs) / rate / 3600
+}
+
+// SampledSim is the outcome of simulating only the selected kernels.
+type SampledSim struct {
+	// ProjCycles is the projected application cycle count (kernels
+	// weighted by group population, plus launch overheads).
+	ProjCycles int64
+	// SimWarpInstrs is the work actually simulated.
+	SimWarpInstrs int64
+	// ErrorPct is the cycle error versus silicon.
+	ErrorPct float64
+	// IPC is the cycle-weighted projected IPC.
+	IPC float64
+	// DRAMUtil is the population-weighted projected DRAM utilization.
+	DRAMUtil float64
+	// SimHours is the projected simulation time at the modeled rate.
+	SimHours float64
+	// SpeedupVsFull is full-simulation work divided by sampled work. For
+	// workloads whose full simulation is infeasible it is computed from
+	// the workload's total instruction mass.
+	SpeedupVsFull float64
+	// Capped reports that some representative hit the runaway guard.
+	Capped bool
+}
+
+// Evaluation bundles everything Table 4 reports for one workload.
+type Evaluation struct {
+	Workload  *workload.Workload
+	Silicon   silicon.AppResult
+	Selection *pks.Selection
+
+	// Full is the full-simulation outcome, nil when infeasible.
+	Full *sampling.Result
+	// FullErrorPct is "SimError": full simulation versus silicon.
+	FullErrorPct float64
+	// FullSimHours is the projected full-simulation time; for infeasible
+	// workloads it is projected from total instruction mass.
+	FullSimHours float64
+
+	PKS SampledSim // selection only
+	PKA SampledSim // selection + projection
+}
+
+// RunSampled simulates one representative kernel per group (with PKP when
+// usePKP is set) and projects application-level metrics from the group
+// weights.
+func RunSampled(cfg Config, w *workload.Workload, sel *pks.Selection, usePKP bool) (SampledSim, error) {
+	dev := cfg.Device
+	cap := cfg.KernelCapCycles
+	if cap <= 0 {
+		cap = sim.DefaultMaxCycles
+	}
+	s := sim.New(dev)
+	out := SampledSim{}
+	var kernelCycles int64
+	var threadInstrs, dramWeighted float64
+	for _, g := range sel.Groups {
+		k := w.Kernel(g.RepIndex)
+		var proj pkp.Projection
+		if usePKP {
+			p := pkp.New(cfg.PKP)
+			res, err := s.RunKernel(&k, sim.Options{Controller: p, MaxCycles: cap})
+			if err != nil {
+				return out, fmt.Errorf("core: rep kernel %d: %w", g.RepIndex, err)
+			}
+			proj = p.Projection(res)
+			if res.Cycles >= cap {
+				out.Capped = true
+			}
+		} else {
+			res, err := s.RunKernel(&k, sim.Options{MaxCycles: cap})
+			if err != nil {
+				return out, fmt.Errorf("core: rep kernel %d: %w", g.RepIndex, err)
+			}
+			proj = pkp.Project(res)
+			if res.Cycles >= cap {
+				out.Capped = true
+			}
+		}
+		weight := int64(g.Count())
+		kernelCycles += proj.Cycles * weight
+		out.SimWarpInstrs += proj.SimulatedWarpInstrs
+		threadInstrs += proj.ThreadInstrs * float64(weight)
+		dramWeighted += proj.DRAMUtil * float64(proj.Cycles*weight)
+	}
+	out.ProjCycles = kernelCycles + int64(w.N)*silicon.KernelLaunchOverheadCycles
+	if kernelCycles > 0 {
+		out.IPC = threadInstrs / float64(kernelCycles)
+		out.DRAMUtil = dramWeighted / float64(kernelCycles)
+	}
+	out.SimHours = cfg.SimHours(out.SimWarpInstrs)
+	return out, nil
+}
+
+// Evaluate runs the complete pipeline for one workload: silicon ground
+// truth, PKS, full simulation when feasible, and the sampled PKS/PKA
+// simulations with error and speedup accounting.
+func Evaluate(cfg Config, w *workload.Workload) (*Evaluation, error) {
+	if w == nil {
+		return nil, errors.New("core: nil workload")
+	}
+	ev := &Evaluation{Workload: w}
+
+	sil, err := sampling.SiliconTotal(cfg.Device, w)
+	if err != nil {
+		return nil, err
+	}
+	ev.Silicon = sil
+
+	sel, err := pks.Select(cfg.Device, w, cfg.PKS)
+	if err != nil {
+		return nil, err
+	}
+	ev.Selection = sel
+
+	full, err := sampling.FullSim(cfg.Device, w, cfg.FullSimBudget)
+	switch {
+	case err == nil:
+		ev.Full = full
+		ev.FullErrorPct = stats.AbsPctErr(float64(full.ProjCycles), float64(sil.Cycles))
+		ev.FullSimHours = cfg.SimHours(full.SimWarpInstrs)
+	case errors.Is(err, sampling.ErrInfeasible):
+		// Projected time only; no error column (the paper's MLPerf rows).
+		ev.FullSimHours = cfg.SimHours(totalWarpWork(cfg.Device, w))
+	default:
+		return nil, err
+	}
+
+	ev.PKS, err = RunSampled(cfg, w, sel, false)
+	if err != nil {
+		return nil, err
+	}
+	ev.PKA, err = RunSampled(cfg, w, sel, true)
+	if err != nil {
+		return nil, err
+	}
+	ev.PKS.ErrorPct = stats.AbsPctErr(float64(ev.PKS.ProjCycles), float64(sil.Cycles))
+	ev.PKA.ErrorPct = stats.AbsPctErr(float64(ev.PKA.ProjCycles), float64(sil.Cycles))
+
+	fullWork := totalWarpWork(cfg.Device, w)
+	if ev.Full != nil {
+		fullWork = ev.Full.SimWarpInstrs
+	}
+	if ev.PKS.SimWarpInstrs > 0 {
+		ev.PKS.SpeedupVsFull = float64(fullWork) / float64(ev.PKS.SimWarpInstrs)
+	}
+	if ev.PKA.SimWarpInstrs > 0 {
+		ev.PKA.SpeedupVsFull = float64(fullWork) / float64(ev.PKA.SimWarpInstrs)
+	}
+	return ev, nil
+}
+
+// totalWarpWork returns the workload's full dynamic warp-instruction mass
+// on the device.
+func totalWarpWork(dev gpu.Device, w *workload.Workload) int64 {
+	return int64(float64(w.ApproxWarpInstructions(1<<62)) * dev.ISAScale)
+}

@@ -1,0 +1,296 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5) from the reproduced system: Figure 1 (time
+// landscape), Table 3 (selection examples), Figure 4 (ResNet group
+// composition), Figure 5 (PKP stopping points), Figure 6 (simulation
+// times), Figures 7-8 (speedup and error versus TBPoint and 1B), Table 4
+// (the full per-application results), and Figures 9-10 (relative-accuracy
+// case studies), plus the ablations DESIGN.md calls out.
+//
+// A Study memoizes every expensive artifact — silicon walks, PKS
+// selections, full simulations, sampled simulations, baselines — keyed by
+// device and workload, so the figures share work when generated together
+// (the whole suite is a single-core workload; see DESIGN.md for the
+// compute-budget discussion).
+package experiments
+
+import (
+	"errors"
+	"sync"
+
+	"pka/internal/core"
+	"pka/internal/gpu"
+	"pka/internal/pks"
+	"pka/internal/sampling"
+	"pka/internal/silicon"
+	"pka/internal/stats"
+	"pka/internal/tbpoint"
+	"pka/internal/workload"
+)
+
+// Study owns the memoized state behind the experiment generators.
+type Study struct {
+	// Cfg is the base configuration; Cfg.Device is the selection machine
+	// (Volta, as in the paper).
+	Cfg core.Config
+
+	mu         sync.Mutex
+	workloads  []*workload.Workload
+	selections map[string]*pks.Selection
+	crossGen   map[string]pks.CrossGenResult
+	siliconRes map[string]silicon.AppResult
+	fullSims   map[string]*sampling.Result // nil value = infeasible
+	sampled    map[string]core.SampledSim
+	firstNs    map[string]*sampling.Result
+	tbSels     map[string]*tbpoint.Selection // nil value = too large
+	tbSims     map[string]tbpoint.SimResult
+}
+
+// New returns a Study with the paper's configuration: selection on a
+// Volta V100, 5% PKS target, s = 0.25, n = 3000.
+func New() *Study {
+	return &Study{
+		Cfg:        core.Config{Device: gpu.VoltaV100()},
+		selections: map[string]*pks.Selection{},
+		crossGen:   map[string]pks.CrossGenResult{},
+		siliconRes: map[string]silicon.AppResult{},
+		fullSims:   map[string]*sampling.Result{},
+		sampled:    map[string]core.SampledSim{},
+		firstNs:    map[string]*sampling.Result{},
+		tbSels:     map[string]*tbpoint.Selection{},
+		tbSims:     map[string]tbpoint.SimResult{},
+	}
+}
+
+// Workloads returns the 147-workload study set (cached).
+func (s *Study) Workloads() []*workload.Workload {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.workloads == nil {
+		s.workloads = workload.All()
+	}
+	return s.workloads
+}
+
+// SetWorkloads restricts the study to an explicit workload list — used by
+// tests and quick-look runs; the full suite defaults to all 147.
+func (s *Study) SetWorkloads(ws []*workload.Workload) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.workloads = ws
+}
+
+// SelectionDevice returns the device selections are made on.
+func (s *Study) SelectionDevice() gpu.Device { return s.Cfg.Device }
+
+func key(dev gpu.Device, w *workload.Workload) string { return dev.Name + "|" + w.FullName() }
+
+// Selection returns the (cached) Volta PKS selection for the workload.
+func (s *Study) Selection(w *workload.Workload) (*pks.Selection, error) {
+	s.mu.Lock()
+	if sel, ok := s.selections[w.FullName()]; ok {
+		s.mu.Unlock()
+		return sel, nil
+	}
+	s.mu.Unlock()
+	sel, err := pks.Select(s.Cfg.Device, w, s.Cfg.PKS)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.selections[w.FullName()] = sel
+	s.mu.Unlock()
+	return sel, nil
+}
+
+// CrossGen evaluates the Volta selection on another device's silicon.
+func (s *Study) CrossGen(dev gpu.Device, w *workload.Workload) (pks.CrossGenResult, error) {
+	k := key(dev, w)
+	s.mu.Lock()
+	if r, ok := s.crossGen[k]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+	sel, err := s.Selection(w)
+	if err != nil {
+		return pks.CrossGenResult{}, err
+	}
+	r, err := pks.ProjectOnDevice(dev, w, sel)
+	if err != nil {
+		return pks.CrossGenResult{}, err
+	}
+	s.mu.Lock()
+	s.crossGen[k] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// Silicon returns the (cached) silicon ground truth on the device.
+func (s *Study) Silicon(dev gpu.Device, w *workload.Workload) (silicon.AppResult, error) {
+	k := key(dev, w)
+	s.mu.Lock()
+	if r, ok := s.siliconRes[k]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+	r, err := sampling.SiliconTotal(dev, w)
+	if err != nil {
+		return silicon.AppResult{}, err
+	}
+	s.mu.Lock()
+	s.siliconRes[k] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// Full returns the (cached) full-simulation result on the device, or nil
+// when the workload is infeasible to simulate fully.
+func (s *Study) Full(dev gpu.Device, w *workload.Workload) (*sampling.Result, error) {
+	k := key(dev, w)
+	s.mu.Lock()
+	if r, ok := s.fullSims[k]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+	r, err := sampling.FullSim(dev, w, s.Cfg.FullSimBudget)
+	if err != nil && !errors.Is(err, sampling.ErrInfeasible) {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.fullSims[k] = r // nil when infeasible
+	s.mu.Unlock()
+	return r, nil
+}
+
+// Sampled runs (cached) PKS- or PKA-sampled simulation on the device using
+// the Volta selection, with the error computed against that device's
+// silicon.
+func (s *Study) Sampled(dev gpu.Device, w *workload.Workload, usePKP bool) (core.SampledSim, error) {
+	k := key(dev, w)
+	if usePKP {
+		k += "|pkp"
+	}
+	s.mu.Lock()
+	if r, ok := s.sampled[k]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+
+	sel, err := s.Selection(w)
+	if err != nil {
+		return core.SampledSim{}, err
+	}
+	cfg := s.Cfg
+	cfg.Device = dev
+	r, err := core.RunSampled(cfg, w, sel, usePKP)
+	if err != nil {
+		return core.SampledSim{}, err
+	}
+	sil, err := s.Silicon(dev, w)
+	if err != nil {
+		return core.SampledSim{}, err
+	}
+	r.ErrorPct = stats.AbsPctErr(float64(r.ProjCycles), float64(sil.Cycles))
+	full, err := s.Full(dev, w)
+	if err != nil {
+		return core.SampledSim{}, err
+	}
+	fullWork := int64(float64(w.ApproxWarpInstructions(1<<62)) * dev.ISAScale)
+	if full != nil {
+		fullWork = full.SimWarpInstrs
+	}
+	if r.SimWarpInstrs > 0 {
+		r.SpeedupVsFull = float64(fullWork) / float64(r.SimWarpInstrs)
+	}
+	s.mu.Lock()
+	s.sampled[k] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// FirstN runs (cached) the first-N-instructions baseline on the device.
+func (s *Study) FirstN(dev gpu.Device, w *workload.Workload) (*sampling.Result, error) {
+	k := key(dev, w)
+	s.mu.Lock()
+	if r, ok := s.firstNs[k]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+	r, err := sampling.FirstN(dev, w, 0)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.firstNs[k] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// TBPoint returns the (cached) TBPoint selection on the Volta, or nil when
+// the workload exceeds the baseline's scaling wall.
+func (s *Study) TBPoint(w *workload.Workload) (*tbpoint.Selection, error) {
+	s.mu.Lock()
+	if r, ok := s.tbSels[w.FullName()]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+	r, err := tbpoint.Select(s.Cfg.Device, w, tbpoint.Options{})
+	if err != nil && !errors.Is(err, tbpoint.ErrTooLarge) {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.tbSels[w.FullName()] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// TBPointSim returns the (cached) simulation of the TBPoint selection.
+func (s *Study) TBPointSim(w *workload.Workload) (tbpoint.SimResult, bool, error) {
+	s.mu.Lock()
+	if r, ok := s.tbSims[w.FullName()]; ok {
+		s.mu.Unlock()
+		return r, true, nil
+	}
+	s.mu.Unlock()
+	sel, err := s.TBPoint(w)
+	if err != nil {
+		return tbpoint.SimResult{}, false, err
+	}
+	if sel == nil {
+		return tbpoint.SimResult{}, false, nil
+	}
+	r, err := tbpoint.Simulate(s.Cfg.Device, w, sel, s.Cfg.KernelCapCycles)
+	if err != nil {
+		return tbpoint.SimResult{}, false, err
+	}
+	s.mu.Lock()
+	s.tbSims[w.FullName()] = r
+	s.mu.Unlock()
+	return r, true, nil
+}
+
+// ComparableSet returns the workloads eligible for the Figure 7/8
+// comparisons: full simulation feasible on the Volta, no run-to-run kernel
+// mismatch quirks, and within TBPoint's scaling wall.
+func (s *Study) ComparableSet() []*workload.Workload {
+	budget := s.Cfg.FullSimBudget
+	if budget <= 0 {
+		budget = sampling.DefaultFullSimBudget
+	}
+	var out []*workload.Workload
+	for _, w := range s.Workloads() {
+		if w.Quirk != "" || w.Suite == "MLPerf" {
+			continue
+		}
+		if w.ApproxWarpInstructions(budget) > budget {
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}

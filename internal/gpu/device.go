@@ -1,0 +1,246 @@
+// Package gpu models the hardware platforms the paper evaluates on: the
+// Volta V100, Turing RTX 2060, and Ampere RTX 3070, plus the occupancy
+// rules that determine how many thread blocks can be resident on a
+// streaming multiprocessor at once. Occupancy is load-bearing for PKA: a
+// "wave" — the number of blocks that fill the GPU — is both the unit of
+// Principal Kernel Projection's stability constraint and the denominator of
+// its cycle projection.
+package gpu
+
+import "fmt"
+
+// Generation enumerates the NVIDIA architecture generations studied.
+type Generation int
+
+// Architecture generations, in chronological order.
+const (
+	Volta Generation = iota
+	Turing
+	Ampere
+)
+
+// String implements fmt.Stringer.
+func (g Generation) String() string {
+	switch g {
+	case Volta:
+		return "Volta"
+	case Turing:
+		return "Turing"
+	case Ampere:
+		return "Ampere"
+	default:
+		return fmt.Sprintf("Generation(%d)", int(g))
+	}
+}
+
+// Device describes one GPU model. All capacities are per-SM unless noted.
+type Device struct {
+	Name       string
+	Generation Generation
+
+	NumSMs       int
+	CoreClockMHz int
+	WarpSize     int
+
+	MaxWarpsPerSM   int
+	MaxBlocksPerSM  int
+	MaxThreadsPerSM int
+	RegistersPerSM  int
+	SharedMemPerSM  int // bytes
+
+	// Issue structure: schedulers per SM, each issuing one warp
+	// instruction per cycle.
+	SchedulersPerSM int
+
+	// Memory system.
+	L1SizeBytes      int
+	L2SizeBytes      int
+	CacheLineBytes   int
+	DRAMBandwidthGBs float64
+	L1LatencyCycles  int
+	L2LatencyCycles  int
+	DRAMLatency      int // cycles
+	ALULatencyCycles int
+	SMemLatency      int // shared-memory access latency, cycles
+
+	HasTensorCores bool
+
+	// ISAScale models the paper's observation that different machine-ISA
+	// generations execute slightly different instruction counts for the
+	// same source program (Section 3.1). Dynamic instruction counts are
+	// multiplied by this factor relative to Volta.
+	ISAScale float64
+}
+
+// VoltaV100 returns the Tesla V100 (SXM2 16GB) configuration, the machine
+// Principal Kernel Selection profiles on.
+func VoltaV100() Device {
+	return Device{
+		Name:             "Tesla V100",
+		Generation:       Volta,
+		NumSMs:           80,
+		CoreClockMHz:     1455,
+		WarpSize:         32,
+		MaxWarpsPerSM:    64,
+		MaxBlocksPerSM:   32,
+		MaxThreadsPerSM:  2048,
+		RegistersPerSM:   65536,
+		SharedMemPerSM:   96 * 1024,
+		SchedulersPerSM:  4,
+		L1SizeBytes:      128 * 1024,
+		L2SizeBytes:      6 * 1024 * 1024,
+		CacheLineBytes:   128,
+		DRAMBandwidthGBs: 900,
+		L1LatencyCycles:  28,
+		L2LatencyCycles:  193,
+		DRAMLatency:      400,
+		ALULatencyCycles: 4,
+		SMemLatency:      19,
+		HasTensorCores:   true,
+		ISAScale:         1.0,
+	}
+}
+
+// TuringRTX2060 returns the GeForce RTX 2060 configuration used for the
+// cross-generation silicon validation.
+func TuringRTX2060() Device {
+	return Device{
+		Name:             "RTX 2060",
+		Generation:       Turing,
+		NumSMs:           30,
+		CoreClockMHz:     1680,
+		WarpSize:         32,
+		MaxWarpsPerSM:    32,
+		MaxBlocksPerSM:   16,
+		MaxThreadsPerSM:  1024,
+		RegistersPerSM:   65536,
+		SharedMemPerSM:   64 * 1024,
+		SchedulersPerSM:  4,
+		L1SizeBytes:      96 * 1024,
+		L2SizeBytes:      3 * 1024 * 1024,
+		CacheLineBytes:   128,
+		DRAMBandwidthGBs: 336,
+		L1LatencyCycles:  32,
+		L2LatencyCycles:  188,
+		DRAMLatency:      420,
+		ALULatencyCycles: 4,
+		SMemLatency:      21,
+		HasTensorCores:   true,
+		ISAScale:         0.97,
+	}
+}
+
+// AmpereRTX3070 returns the GeForce RTX 3070 configuration used for the
+// cross-generation silicon validation.
+func AmpereRTX3070() Device {
+	return Device{
+		Name:             "RTX 3070",
+		Generation:       Ampere,
+		NumSMs:           46,
+		CoreClockMHz:     1725,
+		WarpSize:         32,
+		MaxWarpsPerSM:    48,
+		MaxBlocksPerSM:   16,
+		MaxThreadsPerSM:  1536,
+		RegistersPerSM:   65536,
+		SharedMemPerSM:   100 * 1024,
+		SchedulersPerSM:  4,
+		L1SizeBytes:      128 * 1024,
+		L2SizeBytes:      4 * 1024 * 1024,
+		CacheLineBytes:   128,
+		DRAMBandwidthGBs: 448,
+		L1LatencyCycles:  30,
+		L2LatencyCycles:  200,
+		DRAMLatency:      410,
+		ALULatencyCycles: 4,
+		SMemLatency:      20,
+		HasTensorCores:   true,
+		ISAScale:         1.04,
+	}
+}
+
+// WithSMs returns a copy of the device restricted to n SMs, modeling the
+// MPS-based SM masking the paper uses for its 80-vs-40-core case study
+// (Figure 10). L2 and DRAM resources are unchanged, matching MPS behaviour.
+func (d Device) WithSMs(n int) Device {
+	if n < 1 {
+		n = 1
+	}
+	if n > d.NumSMs {
+		n = d.NumSMs
+	}
+	out := d
+	out.NumSMs = n
+	out.Name = fmt.Sprintf("%s (%d SMs)", d.Name, n)
+	return out
+}
+
+// BytesPerCycle returns the DRAM bandwidth expressed in bytes per core
+// clock cycle, the unit the simulator's DRAM channel model operates in.
+func (d Device) BytesPerCycle() float64 {
+	return d.DRAMBandwidthGBs * 1e9 / (float64(d.CoreClockMHz) * 1e6)
+}
+
+// Occupancy describes how one kernel's blocks map onto an SM.
+type Occupancy struct {
+	BlocksPerSM  int // resident blocks per SM (>= 1 if the block fits at all)
+	WarpsPerSM   int // resident warps per SM
+	ThreadsPerSM int
+	// LimitedBy names the binding resource: "blocks", "threads", "warps",
+	// "registers", or "smem".
+	LimitedBy string
+}
+
+// KernelResources is the subset of a kernel launch that occupancy depends
+// on. It lives here (rather than importing the trace package) so gpu stays
+// a leaf dependency.
+type KernelResources struct {
+	ThreadsPerBlock   int
+	RegsPerThread     int
+	SharedMemPerBlock int
+}
+
+// ComputeOccupancy applies the standard CUDA occupancy rules. A kernel
+// whose single block exceeds the SM's resources gets BlocksPerSM == 0.
+func (d Device) ComputeOccupancy(k KernelResources) Occupancy {
+	if k.ThreadsPerBlock <= 0 {
+		return Occupancy{LimitedBy: "threads"}
+	}
+	warpsPerBlock := (k.ThreadsPerBlock + d.WarpSize - 1) / d.WarpSize
+
+	limit := d.MaxBlocksPerSM
+	limitedBy := "blocks"
+	if byThreads := d.MaxThreadsPerSM / k.ThreadsPerBlock; byThreads < limit {
+		limit, limitedBy = byThreads, "threads"
+	}
+	if byWarps := d.MaxWarpsPerSM / warpsPerBlock; byWarps < limit {
+		limit, limitedBy = byWarps, "warps"
+	}
+	if k.RegsPerThread > 0 {
+		regsPerBlock := k.RegsPerThread * warpsPerBlock * d.WarpSize
+		if byRegs := d.RegistersPerSM / regsPerBlock; byRegs < limit {
+			limit, limitedBy = byRegs, "registers"
+		}
+	}
+	if k.SharedMemPerBlock > 0 {
+		if bySmem := d.SharedMemPerSM / k.SharedMemPerBlock; bySmem < limit {
+			limit, limitedBy = bySmem, "smem"
+		}
+	}
+	if limit < 0 {
+		limit = 0
+	}
+	return Occupancy{
+		BlocksPerSM:  limit,
+		WarpsPerSM:   limit * warpsPerBlock,
+		ThreadsPerSM: limit * k.ThreadsPerBlock,
+		LimitedBy:    limitedBy,
+	}
+}
+
+// WaveSize returns the number of thread blocks that fill the whole GPU at
+// this kernel's occupancy — the paper's "wave". A kernel that cannot fit
+// even one block per SM reports a wave of 0.
+func (d Device) WaveSize(k KernelResources) int {
+	return d.ComputeOccupancy(k).BlocksPerSM * d.NumSMs
+}

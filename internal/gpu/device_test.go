@@ -1,0 +1,126 @@
+package gpu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeviceConfigsSane(t *testing.T) {
+	for _, d := range []Device{VoltaV100(), TuringRTX2060(), AmpereRTX3070()} {
+		if d.NumSMs <= 0 || d.CoreClockMHz <= 0 || d.WarpSize != 32 {
+			t.Errorf("%s: bad basic config %+v", d.Name, d)
+		}
+		if d.MaxWarpsPerSM*d.WarpSize < d.MaxThreadsPerSM {
+			t.Errorf("%s: warp capacity %d below thread capacity %d",
+				d.Name, d.MaxWarpsPerSM*d.WarpSize, d.MaxThreadsPerSM)
+		}
+		if d.ISAScale < 0.9 || d.ISAScale > 1.1 {
+			t.Errorf("%s: implausible ISA scale %v", d.Name, d.ISAScale)
+		}
+		if d.BytesPerCycle() <= 0 {
+			t.Errorf("%s: non-positive DRAM bytes/cycle", d.Name)
+		}
+	}
+}
+
+func TestGenerationString(t *testing.T) {
+	if Volta.String() != "Volta" || Turing.String() != "Turing" || Ampere.String() != "Ampere" {
+		t.Error("generation names wrong")
+	}
+	if !strings.Contains(Generation(9).String(), "9") {
+		t.Error("unknown generation should include its number")
+	}
+}
+
+func TestVoltaOutranksTuring(t *testing.T) {
+	v, tu := VoltaV100(), TuringRTX2060()
+	if v.NumSMs <= tu.NumSMs {
+		t.Error("V100 should have more SMs than RTX 2060")
+	}
+	if v.DRAMBandwidthGBs <= tu.DRAMBandwidthGBs {
+		t.Error("V100 should have more bandwidth than RTX 2060")
+	}
+}
+
+func TestComputeOccupancyThreadLimited(t *testing.T) {
+	d := VoltaV100()
+	occ := d.ComputeOccupancy(KernelResources{ThreadsPerBlock: 1024})
+	if occ.BlocksPerSM != 2 {
+		t.Errorf("1024-thread blocks: %d blocks/SM, want 2", occ.BlocksPerSM)
+	}
+	if occ.LimitedBy != "threads" && occ.LimitedBy != "warps" {
+		t.Errorf("limited by %q", occ.LimitedBy)
+	}
+	if occ.ThreadsPerSM != 2048 {
+		t.Errorf("threads/SM = %d", occ.ThreadsPerSM)
+	}
+}
+
+func TestComputeOccupancyRegisterLimited(t *testing.T) {
+	d := VoltaV100()
+	// 256 regs/thread * 256 threads = 65536 regs = exactly one block.
+	occ := d.ComputeOccupancy(KernelResources{ThreadsPerBlock: 256, RegsPerThread: 256})
+	if occ.BlocksPerSM != 1 || occ.LimitedBy != "registers" {
+		t.Errorf("occ = %+v, want 1 block limited by registers", occ)
+	}
+}
+
+func TestComputeOccupancySmemLimited(t *testing.T) {
+	d := VoltaV100()
+	occ := d.ComputeOccupancy(KernelResources{ThreadsPerBlock: 64, SharedMemPerBlock: 48 * 1024})
+	if occ.BlocksPerSM != 2 || occ.LimitedBy != "smem" {
+		t.Errorf("occ = %+v, want 2 blocks limited by smem", occ)
+	}
+}
+
+func TestComputeOccupancyBlockLimited(t *testing.T) {
+	d := VoltaV100()
+	occ := d.ComputeOccupancy(KernelResources{ThreadsPerBlock: 32})
+	if occ.BlocksPerSM != d.MaxBlocksPerSM || occ.LimitedBy != "blocks" {
+		t.Errorf("tiny blocks: %+v", occ)
+	}
+}
+
+func TestComputeOccupancyOversizedBlock(t *testing.T) {
+	d := VoltaV100()
+	// A block demanding more shared memory than the SM owns cannot run.
+	occ := d.ComputeOccupancy(KernelResources{ThreadsPerBlock: 128, SharedMemPerBlock: d.SharedMemPerSM + 1})
+	if occ.BlocksPerSM != 0 {
+		t.Errorf("oversized block got %d blocks/SM", occ.BlocksPerSM)
+	}
+	occ = d.ComputeOccupancy(KernelResources{ThreadsPerBlock: 0})
+	if occ.BlocksPerSM != 0 {
+		t.Error("zero-thread block should not be schedulable")
+	}
+}
+
+func TestWaveSize(t *testing.T) {
+	d := VoltaV100()
+	w := d.WaveSize(KernelResources{ThreadsPerBlock: 1024})
+	if w != 2*d.NumSMs {
+		t.Errorf("wave = %d, want %d", w, 2*d.NumSMs)
+	}
+}
+
+func TestWithSMs(t *testing.T) {
+	d := VoltaV100()
+	half := d.WithSMs(40)
+	if half.NumSMs != 40 {
+		t.Errorf("NumSMs = %d", half.NumSMs)
+	}
+	if half.L2SizeBytes != d.L2SizeBytes || half.DRAMBandwidthGBs != d.DRAMBandwidthGBs {
+		t.Error("MPS masking should not change memory-system resources")
+	}
+	if !strings.Contains(half.Name, "40") {
+		t.Errorf("name %q should mention SM count", half.Name)
+	}
+	if d.WithSMs(0).NumSMs != 1 {
+		t.Error("WithSMs clamps low to 1")
+	}
+	if d.WithSMs(10000).NumSMs != d.NumSMs {
+		t.Error("WithSMs clamps high to device size")
+	}
+	if d.NumSMs != 80 {
+		t.Error("WithSMs mutated the receiver")
+	}
+}

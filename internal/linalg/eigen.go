@@ -1,0 +1,99 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// EigenSym computes all eigenvalues and eigenvectors of a symmetric matrix
+// using the cyclic Jacobi rotation method. Eigenpairs are returned sorted by
+// descending eigenvalue; column k of the returned matrix is the eigenvector
+// for values[k]. The input must be square and (numerically) symmetric.
+func EigenSym(a *Matrix) (values []float64, vectors *Matrix, err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, errors.New("linalg: EigenSym requires a square matrix")
+	}
+	n := a.Rows
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			scale := math.Max(math.Abs(a.At(i, j)), math.Abs(a.At(j, i)))
+			if diff := math.Abs(a.At(i, j) - a.At(j, i)); diff > 1e-8*math.Max(scale, 1) {
+				return nil, nil, errors.New("linalg: EigenSym requires a symmetric matrix")
+			}
+		}
+	}
+
+	w := a.Clone() // working copy, destroyed by rotations
+	v := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-15 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				for k := 0; k < n; k++ {
+					akp, akq := w.At(k, p), w.At(k, q)
+					w.Set(k, p, c*akp-s*akq)
+					w.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := w.At(p, k), w.At(q, k)
+					w.Set(p, k, c*apk-s*aqk)
+					w.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	type pair struct {
+		val float64
+		col int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{w.At(i, i), i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].val > pairs[j].val })
+
+	values = make([]float64, n)
+	vectors = NewMatrix(n, n)
+	for k, p := range pairs {
+		values[k] = p.val
+		for r := 0; r < n; r++ {
+			vectors.Set(r, k, v.At(r, p.col))
+		}
+	}
+	return values, vectors, nil
+}

@@ -1,0 +1,344 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pka/internal/stats"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 || m.At(0, 1) != 0 {
+		t.Error("Set/At round-trip failed")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone aliases original storage")
+	}
+	row := m.Row(1)
+	row[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Error("Row should be a view, not a copy")
+	}
+}
+
+func TestNewMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMatrix(0, 3) did not panic")
+		}
+	}()
+	NewMatrix(0, 3)
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil || m.At(1, 0) != 3 {
+		t.Fatalf("FromRows failed: %v", err)
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	if _, err := FromRows(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	p, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if p.At(i, j) != want[i][j] {
+				t.Errorf("Mul[%d][%d] = %v, want %v", i, j, p.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := a.Mul(NewMatrix(3, 3)); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := a.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Errorf("Transpose wrong: %+v", tr)
+	}
+}
+
+func TestColMeansAndStdDevs(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 10}, {3, 10}})
+	means := m.ColMeans()
+	if !approx(means[0], 2, 1e-12) || !approx(means[1], 10, 1e-12) {
+		t.Errorf("ColMeans = %v", means)
+	}
+	sds := m.ColStdDevs()
+	if !approx(sds[0], 1, 1e-12) || sds[1] != 0 {
+		t.Errorf("ColStdDevs = %v", sds)
+	}
+}
+
+func TestCovariance(t *testing.T) {
+	// Perfectly correlated columns.
+	m, _ := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	cov := m.Covariance()
+	if !approx(cov.At(0, 0), 1, 1e-12) {
+		t.Errorf("var(x) = %v, want 1", cov.At(0, 0))
+	}
+	if !approx(cov.At(0, 1), 2, 1e-12) || !approx(cov.At(1, 0), 2, 1e-12) {
+		t.Errorf("cov(x,y) = %v, want 2 (symmetric)", cov.At(0, 1))
+	}
+	if !approx(cov.At(1, 1), 4, 1e-12) {
+		t.Errorf("var(y) = %v, want 4", cov.At(1, 1))
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 5}, {3, 5}, {5, 5}})
+	s := m.Standardize()
+	means := s.ColMeans()
+	if !approx(means[0], 0, 1e-12) || !approx(means[1], 0, 1e-12) {
+		t.Errorf("standardized means = %v", means)
+	}
+	sds := s.ColStdDevs()
+	if !approx(sds[0], 1, 1e-12) {
+		t.Errorf("standardized stddev = %v, want 1", sds[0])
+	}
+	// Constant column stays constant (no NaN).
+	for i := 0; i < 3; i++ {
+		if math.IsNaN(s.At(i, 1)) {
+			t.Fatal("constant column produced NaN")
+		}
+	}
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	m, _ := FromRows([][]float64{{3, 0}, {0, 1}})
+	vals, vecs, err := EigenSym(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(vals[0], 3, 1e-9) || !approx(vals[1], 1, 1e-9) {
+		t.Errorf("eigenvalues = %v, want [3 1]", vals)
+	}
+	// First eigenvector should align with e1.
+	if !approx(math.Abs(vecs.At(0, 0)), 1, 1e-9) || !approx(vecs.At(1, 0), 0, 1e-9) {
+		t.Errorf("first eigenvector = [%v %v]", vecs.At(0, 0), vecs.At(1, 0))
+	}
+}
+
+func TestEigenSymKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	m, _ := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs, err := EigenSym(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(vals[0], 3, 1e-9) || !approx(vals[1], 1, 1e-9) {
+		t.Errorf("eigenvalues = %v, want [3 1]", vals)
+	}
+	// Verify A v = λ v for each pair.
+	for k := 0; k < 2; k++ {
+		for r := 0; r < 2; r++ {
+			av := m.At(r, 0)*vecs.At(0, k) + m.At(r, 1)*vecs.At(1, k)
+			if !approx(av, vals[k]*vecs.At(r, k), 1e-8) {
+				t.Errorf("A·v != λ·v for pair %d row %d", k, r)
+			}
+		}
+	}
+}
+
+func TestEigenSymRejectsNonSquareAndAsymmetric(t *testing.T) {
+	if _, _, err := EigenSym(NewMatrix(2, 3)); err == nil {
+		t.Error("non-square accepted")
+	}
+	m, _ := FromRows([][]float64{{1, 5}, {0, 1}})
+	if _, _, err := EigenSym(m); err == nil {
+		t.Error("asymmetric accepted")
+	}
+}
+
+// Property: for random symmetric matrices, eigendecomposition reconstructs
+// the matrix: A ≈ V diag(λ) Vᵀ, eigenvalues are sorted descending, and
+// eigenvectors are orthonormal.
+func TestEigenSymReconstructionProperty(t *testing.T) {
+	rng := stats.NewRNG(42)
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(6)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		vals, vecs, err := EigenSym(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k < n; k++ {
+			if vals[k] > vals[k-1]+1e-9 {
+				t.Fatalf("eigenvalues not sorted: %v", vals)
+			}
+		}
+		// Orthonormality.
+		for c1 := 0; c1 < n; c1++ {
+			for c2 := c1; c2 < n; c2++ {
+				var dot float64
+				for r := 0; r < n; r++ {
+					dot += vecs.At(r, c1) * vecs.At(r, c2)
+				}
+				want := 0.0
+				if c1 == c2 {
+					want = 1
+				}
+				if !approx(dot, want, 1e-7) {
+					t.Fatalf("eigenvector columns %d,%d not orthonormal: %v", c1, c2, dot)
+				}
+			}
+		}
+		// Reconstruction.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var sum float64
+				for k := 0; k < n; k++ {
+					sum += vecs.At(i, k) * vals[k] * vecs.At(j, k)
+				}
+				if !approx(sum, a.At(i, j), 1e-6) {
+					t.Fatalf("reconstruction mismatch at (%d,%d): %v vs %v", i, j, sum, a.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestFitPCAOnCorrelatedData(t *testing.T) {
+	rng := stats.NewRNG(7)
+	rows := make([][]float64, 200)
+	for i := range rows {
+		x := rng.NormFloat64()
+		// Second feature nearly duplicates the first; third is noise.
+		rows[i] = []float64{x, 2*x + 0.01*rng.NormFloat64(), rng.NormFloat64() * 0.1}
+	}
+	m, _ := FromRows(rows)
+	p, err := FitPCA(m, 0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumComponents() < 1 || p.NumComponents() > 3 {
+		t.Fatalf("components = %d", p.NumComponents())
+	}
+	if p.Explained[0] < 0.5 {
+		t.Errorf("first component explains only %v of variance", p.Explained[0])
+	}
+	proj, err := p.Transform(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Rows != 200 || proj.Cols != p.NumComponents() {
+		t.Errorf("projection shape %dx%d", proj.Rows, proj.Cols)
+	}
+}
+
+func TestPCATransformRowMatchesTransform(t *testing.T) {
+	rows := [][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}, {0, 1, 2}}
+	m, _ := FromRows(rows)
+	p, err := FitPCA(m, 0.99, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, _ := p.Transform(m)
+	for i, r := range rows {
+		single, err := p.TransformRow(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range single {
+			if !approx(single[k], all.At(i, k), 1e-9) {
+				t.Fatalf("TransformRow mismatch at row %d comp %d", i, k)
+			}
+		}
+	}
+	if _, err := p.TransformRow([]float64{1}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestFitPCADegenerate(t *testing.T) {
+	// Identical rows: zero variance everywhere.
+	m, _ := FromRows([][]float64{{1, 1}, {1, 1}, {1, 1}})
+	p, err := FitPCA(m, 0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := p.Transform(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < proj.Rows; i++ {
+		for j := 0; j < proj.Cols; j++ {
+			if math.IsNaN(proj.At(i, j)) {
+				t.Fatal("degenerate PCA produced NaN")
+			}
+		}
+	}
+	if _, err := FitPCA(m, 0, 1); err == nil {
+		t.Error("varTarget 0 accepted")
+	}
+}
+
+// Property: PCA projection preserves pairwise distances when all components
+// are kept (it is an orthogonal transform of the standardized data).
+func TestPCAIsometryProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := stats.NewRNG(uint64(seed))
+		n, d := 20, 4
+		m := NewMatrix(n, d)
+		for i := 0; i < n; i++ {
+			for j := 0; j < d; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+		p, err := FitPCA(m, 1.0, d)
+		if err != nil || p.NumComponents() != d {
+			return false
+		}
+		std := m.Standardize()
+		proj, err := p.Transform(m)
+		if err != nil {
+			return false
+		}
+		for a := 0; a < 5; a++ {
+			for b := a + 1; b < 5; b++ {
+				var d1, d2 float64
+				for j := 0; j < d; j++ {
+					diff := std.At(a, j) - std.At(b, j)
+					d1 += diff * diff
+					diff2 := proj.At(a, j) - proj.At(b, j)
+					d2 += diff2 * diff2
+				}
+				if !approx(d1, d2, 1e-6*(d1+1)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,175 @@
+// Package linalg implements the dense linear algebra the selection pipeline
+// needs: row-major matrices, covariance, a Jacobi eigensolver for symmetric
+// matrices, and principal component analysis with feature standardization.
+// Everything is written against the standard library only.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix allocates a zeroed rows×cols matrix. It panics on non-positive
+// dimensions, which indicate a programming error rather than bad data.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, errors.New("linalg: FromRows needs at least one non-empty row")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			return nil, fmt.Errorf("linalg: row %d has %d cols, want %d", i, len(r), m.Cols)
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m, nil
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set stores v at (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Mul returns m × other, or an error on shape mismatch.
+func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
+	if m.Cols != other.Rows {
+		return nil, fmt.Errorf("linalg: cannot multiply %dx%d by %dx%d", m.Rows, m.Cols, other.Rows, other.Cols)
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Row(i)
+		oi := out.Row(i)
+		for k := 0; k < m.Cols; k++ {
+			a := mi[k]
+			if a == 0 {
+				continue
+			}
+			ok := other.Row(k)
+			for j := 0; j < other.Cols; j++ {
+				oi[j] += a * ok[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// ColMeans returns the mean of each column.
+func (m *Matrix) ColMeans() []float64 {
+	means := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= float64(m.Rows)
+	}
+	return means
+}
+
+// ColStdDevs returns the population standard deviation of each column.
+func (m *Matrix) ColStdDevs() []float64 {
+	means := m.ColMeans()
+	sds := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			d := v - means[j]
+			sds[j] += d * d
+		}
+	}
+	for j := range sds {
+		sds[j] = math.Sqrt(sds[j] / float64(m.Rows))
+	}
+	return sds
+}
+
+// Covariance returns the Cols×Cols sample covariance matrix of the rows of
+// m (dividing by N-1; with a single row it divides by 1 and is all zeros).
+func (m *Matrix) Covariance() *Matrix {
+	means := m.ColMeans()
+	cov := NewMatrix(m.Cols, m.Cols)
+	denom := float64(m.Rows - 1)
+	if denom < 1 {
+		denom = 1
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for i := 0; i < m.Cols; i++ {
+			di := row[i] - means[i]
+			if di == 0 {
+				continue
+			}
+			ci := cov.Row(i)
+			for j := i; j < m.Cols; j++ {
+				ci[j] += di * (row[j] - means[j])
+			}
+		}
+	}
+	for i := 0; i < m.Cols; i++ {
+		for j := i; j < m.Cols; j++ {
+			v := cov.At(i, j) / denom
+			cov.Set(i, j, v)
+			cov.Set(j, i, v)
+		}
+	}
+	return cov
+}
+
+// Standardize returns a copy of m with each column shifted to zero mean and
+// scaled to unit standard deviation. Constant columns (zero stddev) are
+// left centered but unscaled, so uninformative profiler metrics cannot blow
+// up the PCA with division by zero.
+func (m *Matrix) Standardize() *Matrix {
+	means := m.ColMeans()
+	sds := m.ColStdDevs()
+	out := m.Clone()
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] -= means[j]
+			if sds[j] > 0 {
+				row[j] /= sds[j]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package linalg
+
+import "errors"
+
+// PCA holds a fitted principal component analysis: the standardization
+// parameters of the training data and the projection basis. PKA fits a PCA
+// over the microarchitecture-agnostic per-kernel feature vectors (Table 2 of
+// the paper) and clusters in the reduced space, sidestepping the curse of
+// dimensionality that hierarchical approaches like TBPoint suffer from.
+type PCA struct {
+	Means      []float64 // per-feature training means
+	Scales     []float64 // per-feature training stddevs (0 kept as 1)
+	Components *Matrix   // features × kept-components, column-major basis
+	Explained  []float64 // fraction of variance explained per kept component
+}
+
+// FitPCA fits a PCA on the rows of data, keeping the smallest number of
+// components whose cumulative explained variance reaches varTarget (e.g.
+// 0.9). At least minComponents are always kept (clamped to the feature
+// count). The input matrix is standardized internally; callers pass raw
+// feature vectors.
+func FitPCA(data *Matrix, varTarget float64, minComponents int) (*PCA, error) {
+	if data.Rows < 1 {
+		return nil, errors.New("linalg: FitPCA needs at least one sample")
+	}
+	if varTarget <= 0 || varTarget > 1 {
+		return nil, errors.New("linalg: varTarget must be in (0, 1]")
+	}
+
+	means := data.ColMeans()
+	sds := data.ColStdDevs()
+	std := data.Standardize()
+	cov := std.Covariance()
+	vals, vecs, err := EigenSym(cov)
+	if err != nil {
+		return nil, err
+	}
+
+	var total float64
+	for _, v := range vals {
+		if v > 0 {
+			total += v
+		}
+	}
+	keep := 0
+	if total <= 0 {
+		// Degenerate data (e.g. a single sample, or identical rows): keep
+		// one component so projection is well-defined.
+		keep = 1
+	} else {
+		var cum float64
+		for _, v := range vals {
+			keep++
+			if v > 0 {
+				cum += v
+			}
+			if cum/total >= varTarget {
+				break
+			}
+		}
+	}
+	if keep < minComponents {
+		keep = minComponents
+	}
+	if keep > data.Cols {
+		keep = data.Cols
+	}
+
+	comps := NewMatrix(data.Cols, keep)
+	explained := make([]float64, keep)
+	for k := 0; k < keep; k++ {
+		for r := 0; r < data.Cols; r++ {
+			comps.Set(r, k, vecs.At(r, k))
+		}
+		if total > 0 && vals[k] > 0 {
+			explained[k] = vals[k] / total
+		}
+	}
+
+	scales := make([]float64, len(sds))
+	for i, s := range sds {
+		if s > 0 {
+			scales[i] = s
+		} else {
+			scales[i] = 1
+		}
+	}
+	return &PCA{Means: means, Scales: scales, Components: comps, Explained: explained}, nil
+}
+
+// NumComponents returns the number of kept components.
+func (p *PCA) NumComponents() int { return p.Components.Cols }
+
+// Transform projects raw feature rows into the principal component space,
+// applying the training standardization first.
+func (p *PCA) Transform(data *Matrix) (*Matrix, error) {
+	if data.Cols != len(p.Means) {
+		return nil, errors.New("linalg: PCA feature dimension mismatch")
+	}
+	out := NewMatrix(data.Rows, p.Components.Cols)
+	for i := 0; i < data.Rows; i++ {
+		row := data.Row(i)
+		for k := 0; k < p.Components.Cols; k++ {
+			var dot float64
+			for j, v := range row {
+				dot += (v - p.Means[j]) / p.Scales[j] * p.Components.At(j, k)
+			}
+			out.Set(i, k, dot)
+		}
+	}
+	return out, nil
+}
+
+// TransformRow projects a single raw feature vector.
+func (p *PCA) TransformRow(row []float64) ([]float64, error) {
+	if len(row) != len(p.Means) {
+		return nil, errors.New("linalg: PCA feature dimension mismatch")
+	}
+	out := make([]float64, p.Components.Cols)
+	for k := 0; k < p.Components.Cols; k++ {
+		var dot float64
+		for j, v := range row {
+			dot += (v - p.Means[j]) / p.Scales[j] * p.Components.At(j, k)
+		}
+		out[k] = dot
+	}
+	return out, nil
+}

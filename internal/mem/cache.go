@@ -1,0 +1,118 @@
+// Package mem models the GPU memory system used by the cycle-level
+// simulator: set-associative LRU caches for L1/L2 and a latency+bandwidth
+// DRAM channel. The models are deliberately structural — real tag arrays
+// and a real bandwidth bottleneck — because Principal Kernel Projection's
+// stability signal depends on memory contention emerging rather than being
+// scripted.
+package mem
+
+// Cache is a set-associative cache with true-LRU replacement and
+// write-allocate policy. It tracks hit/miss counts for miss-rate telemetry.
+type Cache struct {
+	ways      int
+	numSets   int
+	lineShift uint
+	// tags[set*ways+way]; lru holds per-way recency (higher = more recent).
+	tags  []uint64
+	valid []bool
+	lru   []uint64
+	clock uint64
+
+	hits, misses int64
+}
+
+// NewCache builds a cache of sizeBytes organized as ways-associative with
+// the given line size. Size is rounded down to a whole number of sets; the
+// cache always has at least one set. Line size must be a power of two.
+func NewCache(sizeBytes, ways, lineBytes int) *Cache {
+	if ways < 1 {
+		ways = 1
+	}
+	if lineBytes < 1 || lineBytes&(lineBytes-1) != 0 {
+		panic("mem: line size must be a positive power of two")
+	}
+	numSets := sizeBytes / (ways * lineBytes)
+	if numSets < 1 {
+		numSets = 1
+	}
+	shift := uint(0)
+	for 1<<shift != lineBytes {
+		shift++
+	}
+	n := numSets * ways
+	return &Cache{
+		ways:      ways,
+		numSets:   numSets,
+		lineShift: shift,
+		tags:      make([]uint64, n),
+		valid:     make([]bool, n),
+		lru:       make([]uint64, n),
+	}
+}
+
+// Access looks up addr, allocating the line on a miss (for both reads and
+// writes), and reports whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := int(line % uint64(c.numSets))
+	base := set * c.ways
+	c.clock++
+
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			c.lru[base+w] = c.clock
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	// Victim: invalid way first, else least recently used.
+	victim := base
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if !c.valid[i] {
+			victim = i
+			break
+		}
+		if c.lru[i] < oldest {
+			oldest = c.lru[i]
+			victim = i
+		}
+	}
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.lru[victim] = c.clock
+	return false
+}
+
+// Hits returns the cumulative hit count.
+func (c *Cache) Hits() int64 { return c.hits }
+
+// Misses returns the cumulative miss count.
+func (c *Cache) Misses() int64 { return c.misses }
+
+// Accesses returns hits + misses.
+func (c *Cache) Accesses() int64 { return c.hits + c.misses }
+
+// MissRate returns misses / accesses, or 0 before any access.
+func (c *Cache) MissRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(total)
+}
+
+// ResetStats zeroes the hit/miss counters without flushing cache contents,
+// so per-kernel telemetry can be isolated while warmed state persists.
+func (c *Cache) ResetStats() { c.hits, c.misses = 0, 0 }
+
+// Flush invalidates every line and clears statistics.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	c.clock = 0
+	c.ResetStats()
+}

@@ -1,0 +1,214 @@
+package pkp
+
+import (
+	"testing"
+
+	"pka/internal/gpu"
+	"pka/internal/sim"
+	"pka/internal/trace"
+)
+
+func steadyKernel(blocks int) trace.KernelDesc {
+	return trace.KernelDesc{
+		Name: "steady", Grid: trace.D1(blocks), Block: trace.D1(256),
+		Mix:              trace.InstrMix{Compute: 120, GlobalLoads: 4},
+		CoalescingFactor: 4, WorkingSetBytes: 1 << 20, StridedFraction: 0.95,
+		DivergenceEff: 1, Seed: 5,
+	}
+}
+
+func irregularKernel(blocks int) trace.KernelDesc {
+	return trace.KernelDesc{
+		Name: "irregular", Grid: trace.D1(blocks), Block: trace.D1(256),
+		Mix:              trace.InstrMix{Compute: 20, GlobalLoads: 10, GlobalAtomics: 1},
+		CoalescingFactor: 14, WorkingSetBytes: 256 << 20, StridedFraction: 0.2,
+		DivergenceEff: 0.5, BlockImbalance: 1.0, Seed: 6,
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	p := New(Options{})
+	if p.opts.Threshold != DefaultThreshold || p.opts.Window != DefaultWindow {
+		t.Errorf("defaults not applied: %+v", p.opts)
+	}
+	if p.StableAt() != -1 || p.Stable() {
+		t.Error("fresh projector claims stability")
+	}
+}
+
+func TestStopsSteadyKernelEarly(t *testing.T) {
+	k := steadyKernel(6400) // 10 waves at 640-block occupancy
+	s := sim.New(gpu.VoltaV100())
+	p := New(Options{})
+	res, err := s.RunKernel(&k, sim.Options{Controller: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Stable() || !res.StoppedEarly {
+		t.Fatalf("steady kernel never stabilized (completed %d/%d)", res.BlocksCompleted, res.BlocksTotal)
+	}
+	if res.BlocksCompleted < res.WaveSize {
+		t.Errorf("stopped before a full wave: %d < %d", res.BlocksCompleted, res.WaveSize)
+	}
+	if res.BlocksCompleted >= res.BlocksTotal {
+		t.Error("no work was actually skipped")
+	}
+}
+
+func TestProjectionAccuracyOnSteadyKernel(t *testing.T) {
+	k := steadyKernel(6400)
+	full, err := sim.New(gpu.VoltaV100()).RunKernel(&k, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(Options{})
+	truncated, err := sim.New(gpu.VoltaV100()).RunKernel(&k, sim.Options{Controller: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := p.Projection(truncated)
+	if !proj.Truncated {
+		t.Fatal("projection not marked truncated")
+	}
+	errPct := 100 * abs(float64(proj.Cycles)-float64(full.Cycles)) / float64(full.Cycles)
+	if errPct > 15 {
+		t.Errorf("steady-kernel projection error %.1f%% (proj %d vs full %d)", errPct, proj.Cycles, full.Cycles)
+	}
+	if proj.SimulatedCycles >= full.Cycles {
+		t.Error("projection did not save simulation work")
+	}
+}
+
+func TestIrregularKernelStillStabilizes(t *testing.T) {
+	// Paper Figure 5b: BFS stabilizes in aggregate despite divergence.
+	k := irregularKernel(12800)
+	p := New(Options{})
+	res, err := sim.New(gpu.VoltaV100()).RunKernel(&k, sim.Options{Controller: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Stable() {
+		t.Fatalf("irregular kernel did not stabilize at s=%v (completed %d/%d)",
+			DefaultThreshold, res.BlocksCompleted, res.BlocksTotal)
+	}
+	proj := p.Projection(res)
+	full, err := sim.New(gpu.VoltaV100()).RunKernel(&k, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Figure 5 reports 68.1% mean error at s=0.25 on its
+	// irregular example; anything in that regime is faithful.
+	errPct := 100 * abs(float64(proj.Cycles)-float64(full.Cycles)) / float64(full.Cycles)
+	if errPct > 100 {
+		t.Errorf("irregular projection error %.1f%%, want <= 100%%", errPct)
+	}
+}
+
+func TestTighterThresholdRunsLonger(t *testing.T) {
+	k := steadyKernel(6400)
+	stops := map[float64]int64{}
+	for _, s := range []float64{2.5, 0.25, 0.025} {
+		p := New(Options{Threshold: s})
+		res, err := sim.New(gpu.VoltaV100()).RunKernel(&k, sim.Options{Controller: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stops[s] = res.Cycles
+	}
+	if !(stops[2.5] <= stops[0.25] && stops[0.25] <= stops[0.025]) {
+		t.Errorf("stop cycles not monotone in threshold: %v", stops)
+	}
+}
+
+func TestWaveConstraintDelaysStop(t *testing.T) {
+	k := steadyKernel(6400)
+	with := New(Options{})
+	rWith, err := sim.New(gpu.VoltaV100()).RunKernel(&k, sim.Options{Controller: with})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without := New(Options{DisableWaveConstraint: true})
+	rWithout, err := sim.New(gpu.VoltaV100()).RunKernel(&k, sim.Options{Controller: without})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rWithout.Cycles > rWith.Cycles {
+		t.Errorf("disabling the wave constraint should stop no later (%d vs %d)", rWithout.Cycles, rWith.Cycles)
+	}
+	if rWith.BlocksCompleted < rWith.WaveSize {
+		t.Error("wave constraint violated")
+	}
+}
+
+func TestSubWaveGridIgnoresWaveConstraint(t *testing.T) {
+	// 100 blocks is far less than a wave (640): the paper drops the
+	// constraint for such kernels. Give the kernel enough per-block work
+	// that 3000 stable cycles can elapse before it finishes.
+	k := steadyKernel(100)
+	k.Mix.Compute = 6000
+	p := New(Options{})
+	res, err := sim.New(gpu.VoltaV100()).RunKernel(&k, sim.Options{Controller: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlocksTotal > res.WaveSize {
+		t.Fatalf("test setup wrong: %d blocks vs wave %d", res.BlocksTotal, res.WaveSize)
+	}
+	if p.Stable() && res.BlocksCompleted >= res.WaveSize {
+		t.Error("sub-wave grid should be stoppable before a wave completes")
+	}
+}
+
+func TestProjectCompletedRunIsIdentity(t *testing.T) {
+	k := steadyKernel(320)
+	res, err := sim.New(gpu.VoltaV100()).RunKernel(&k, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := Project(res)
+	if proj.Truncated || proj.Cycles != res.Cycles || proj.ThreadInstrs != res.ThreadInstrs {
+		t.Errorf("identity projection violated: %+v vs %+v", proj, res)
+	}
+}
+
+func TestProjectZeroCompletedBlocks(t *testing.T) {
+	res := &sim.KernelResult{
+		Cycles: 1000, ThreadInstrs: 5000, BlocksCompleted: 0, BlocksTotal: 4,
+		StoppedEarly: true,
+	}
+	proj := Project(res)
+	if proj.Cycles != 4000 || proj.ThreadInstrs != 20000 {
+		t.Errorf("zero-completion projection: %+v", proj)
+	}
+}
+
+func TestProjectedMetricsScale(t *testing.T) {
+	res := &sim.KernelResult{
+		Cycles: 1000, ThreadInstrs: 10000, WarpInstrs: 400,
+		BlocksCompleted: 10, BlocksTotal: 40,
+		DRAMUtil: 0.7, L2MissRate: 0.4, StoppedEarly: true,
+	}
+	proj := Project(res)
+	if proj.Cycles != 4000 {
+		t.Errorf("cycles = %d, want 4000", proj.Cycles)
+	}
+	if proj.ThreadInstrs != 40000 {
+		t.Errorf("thread instrs = %v, want 40000", proj.ThreadInstrs)
+	}
+	if proj.DRAMUtil != 0.7 || proj.L2MissRate != 0.4 {
+		t.Error("rate metrics should carry forward unscaled")
+	}
+	if proj.SimulatedCycles != 1000 || proj.SimulatedWarpInstrs != 400 {
+		t.Error("simulated-cost fields wrong")
+	}
+	if proj.IPC != 10 {
+		t.Errorf("projected IPC = %v", proj.IPC)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

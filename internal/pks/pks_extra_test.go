@@ -1,0 +1,111 @@
+package pks
+
+import (
+	"testing"
+
+	"pka/internal/gpu"
+	"pka/internal/workload"
+)
+
+// The cluster-subsample path: when the detailed set exceeds
+// ClusterSampleMax, unsampled kernels are assigned to their nearest center
+// and every kernel must still land in exactly one group.
+func TestClusterSubsamplePath(t *testing.T) {
+	w := workload.Find("Polybench/gramschmidt") // 6144 kernels
+	sel, err := Select(gpu.VoltaV100(), w, Options{ClusterSampleMax: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, g := range sel.Groups {
+		total += g.Count()
+	}
+	if total != w.N {
+		t.Fatalf("subsampled clustering lost kernels: %d of %d", total, w.N)
+	}
+	// Accuracy degrades gracefully, not catastrophically.
+	if sel.SelectionErrorPct > 25 {
+		t.Errorf("subsampled selection error %.1f%%", sel.SelectionErrorPct)
+	}
+}
+
+func TestNameCountsCoverPopulation(t *testing.T) {
+	w := workload.Find("Parboil/histo")
+	sel, err := Select(gpu.VoltaV100(), w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	named := 0
+	for _, g := range sel.Groups {
+		for _, n := range g.NameCounts {
+			named += n
+		}
+	}
+	if named != w.N {
+		t.Errorf("name histogram covers %d of %d kernels", named, w.N)
+	}
+}
+
+func TestNameCountsWithTwoLevel(t *testing.T) {
+	w := workload.Find("Polybench/fdtd2d")
+	sel, err := Select(gpu.VoltaV100(), w, Options{MaxDetailed: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.TwoLevel {
+		t.Fatal("expected two-level")
+	}
+	named := 0
+	for _, g := range sel.Groups {
+		for _, n := range g.NameCounts {
+			named += n
+		}
+	}
+	if named != w.N {
+		t.Errorf("two-level name histogram covers %d of %d", named, w.N)
+	}
+}
+
+// MLPerf-style template workloads must trigger two-level profiling under
+// the paper's one-week budget and classify template kernels near-perfectly.
+func TestMLPerfTwoLevelEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("walks a large kernel stream")
+	}
+	w := workload.Find("MLPerf/gnmt_training")
+	sel, err := Select(gpu.VoltaV100(), w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.TwoLevel {
+		t.Fatalf("GNMT (%d kernels) should exceed the one-week detailed budget", w.N)
+	}
+	if sel.ClassifierAccuracy < 0.8 {
+		t.Errorf("classifier accuracy %.3f on template kernels", sel.ClassifierAccuracy)
+	}
+	if sel.SelectionErrorPct > 40 {
+		t.Errorf("two-level selection error %.1f%% (paper's two-level MLPerf band is 10-36%%)", sel.SelectionErrorPct)
+	}
+	if sel.SiliconSpeedup < 1000 {
+		t.Errorf("speedup %.0fx; MLPerf rows should reach thousands", sel.SiliconSpeedup)
+	}
+}
+
+// The ResNet workloads are fully profileable within the budget, like the
+// paper reports.
+func TestResNetFullyProfiled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("walks a large kernel stream")
+	}
+	w := workload.Find("MLPerf/resnet50_256b_inf")
+	sel, err := Select(gpu.VoltaV100(), w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.TwoLevel {
+		t.Errorf("ResNet-256b (%d kernels) should fit the detailed budget", w.N)
+	}
+	if sel.SelectionErrorPct > 10 {
+		t.Errorf("fully-profiled MLPerf selection error %.1f%%", sel.SelectionErrorPct)
+	}
+}

@@ -1,0 +1,266 @@
+package pks
+
+import (
+	"testing"
+
+	"pka/internal/gpu"
+	"pka/internal/workload"
+)
+
+func dev() gpu.Device { return gpu.VoltaV100() }
+
+func TestSelectGaussianOneGroup(t *testing.T) {
+	// gauss_208 launches 414 kernels of just two interleaved shapes; the
+	// paper's Table 3 reports a single group with kernel 0 selected.
+	w := workload.Find("Rodinia/gauss_208")
+	sel, err := Select(dev(), w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.TwoLevel {
+		t.Error("small workload should not trigger two-level profiling")
+	}
+	if sel.K > 3 {
+		t.Errorf("K = %d, want <= 3 for gaussian", sel.K)
+	}
+	if sel.SelectionErrorPct > 5 {
+		t.Errorf("selection error %.2f%% exceeds 5%% target", sel.SelectionErrorPct)
+	}
+	if sel.SiliconSpeedup < 50 {
+		t.Errorf("silicon speedup %.1fx, want large for 414 similar kernels", sel.SiliconSpeedup)
+	}
+	total := 0
+	for _, g := range sel.Groups {
+		total += g.Count()
+	}
+	if total != 414 {
+		t.Errorf("group populations sum to %d, want 414", total)
+	}
+}
+
+func TestSelectFdtd2dFindsStructure(t *testing.T) {
+	// fdtd2d: 1500 kernels, two near-identical field updates plus one
+	// distinct kernel per step (Table 3: groups of 1000 and 500).
+	w := workload.Find("Polybench/fdtd2d")
+	sel, err := Select(dev(), w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.K < 2 || sel.K > 6 {
+		t.Errorf("K = %d, want a handful of groups", sel.K)
+	}
+	if sel.SelectionErrorPct > 5 {
+		t.Errorf("selection error %.2f%%", sel.SelectionErrorPct)
+	}
+	if sel.SiliconSpeedup < 100 {
+		t.Errorf("speedup %.0fx, want hundreds for 1500 kernels", sel.SiliconSpeedup)
+	}
+}
+
+func TestSelectSingleKernelNoBenefit(t *testing.T) {
+	w := workload.Find("Polybench/gemm")
+	sel, err := Select(dev(), w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.K != 1 || sel.SiliconSpeedup > 1.01 || sel.SiliconSpeedup < 0.99 {
+		t.Errorf("single-kernel app: K=%d speedup=%.2f, want 1/1.0", sel.K, sel.SiliconSpeedup)
+	}
+	if sel.SelectionErrorPct > 1e-9 {
+		t.Errorf("single-kernel selection error %.4f%%, want 0", sel.SelectionErrorPct)
+	}
+}
+
+func TestSelectHistoFourGroups(t *testing.T) {
+	// histo launches 4 distinct kernel shapes x 20 iterations (Table 3:
+	// kernels 0,1,2,3 selected with 20 each).
+	w := workload.Find("Parboil/histo")
+	sel, err := Select(dev(), w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.SelectionErrorPct > 5 {
+		t.Errorf("selection error %.2f%%", sel.SelectionErrorPct)
+	}
+	if sel.K < 2 || sel.K > 6 {
+		t.Errorf("K = %d, want ~4", sel.K)
+	}
+}
+
+func TestRepresentativeIsFirstChronological(t *testing.T) {
+	w := workload.Find("Rodinia/gauss_208")
+	sel, err := Select(dev(), w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every representative must be the smallest kernel ID in its group;
+	// in particular the earliest group representative should be kernel 0
+	// or 1 (the first Fan1/Fan2 instances).
+	minRep := sel.Groups[0].RepIndex
+	for _, g := range sel.Groups {
+		if g.RepIndex < minRep {
+			minRep = g.RepIndex
+		}
+	}
+	if minRep > 1 {
+		t.Errorf("earliest representative is kernel %d, want 0 or 1", minRep)
+	}
+}
+
+func TestRepPoliciesProduceValidSelections(t *testing.T) {
+	w := workload.Find("Polybench/gramschmidt")
+	for _, pol := range []RepPolicy{RepFirstChronological, RepClusterCenter, RepRandom} {
+		sel, err := Select(dev(), w, Options{Representative: pol, Seed: 9})
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		total := 0
+		for _, g := range sel.Groups {
+			total += g.Count()
+			if g.Representative.Cycles <= 0 {
+				t.Errorf("%v: representative with no cycles", pol)
+			}
+		}
+		if total != w.N {
+			t.Errorf("%v: populations sum to %d, want %d", pol, total, w.N)
+		}
+	}
+}
+
+func TestSweepPrefersSmallestK(t *testing.T) {
+	w := workload.Find("Polybench/fdtd2d")
+	sel, err := Select(dev(), w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every K before the chosen one must have missed the target.
+	for i := 0; i < len(sel.SweepErrors)-1; i++ {
+		if sel.SweepErrors[i] <= 5 {
+			t.Errorf("sweep stopped late: K=%d already had error %.2f%%", i+1, sel.SweepErrors[i])
+		}
+	}
+	if got := sel.SweepErrors[len(sel.SweepErrors)-1]; got > 5 && sel.K < 20 {
+		t.Errorf("final sweep error %.2f%% with K=%d", got, sel.K)
+	}
+}
+
+func TestTighterTargetNeedsMoreGroups(t *testing.T) {
+	w := workload.Find("Polybench/gramschmidt")
+	loose, err := Select(dev(), w, Options{TargetErrorPct: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Select(dev(), w, Options{TargetErrorPct: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.K < loose.K {
+		t.Errorf("tight target K=%d < loose target K=%d", tight.K, loose.K)
+	}
+	if tight.SelectionErrorPct > loose.SelectionErrorPct+1e-9 && tight.K < 20 {
+		t.Errorf("tight error %.2f%% worse than loose %.2f%%", tight.SelectionErrorPct, loose.SelectionErrorPct)
+	}
+}
+
+func TestTwoLevelTriggersOnHugeWorkload(t *testing.T) {
+	// Shrink the budget so two-level engages quickly, then verify the
+	// mapping covers every kernel.
+	w := workload.Find("Polybench/gramschmidt")
+	sel, err := Select(dev(), w, Options{DetailedBudgetSeconds: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.TwoLevel {
+		t.Fatal("600s budget should force two-level on 6144 kernels")
+	}
+	if sel.DetailedKernels >= w.N {
+		t.Error("detailed count should be a prefix")
+	}
+	total, mapped := 0, 0
+	for _, g := range sel.Groups {
+		total += g.Count()
+		mapped += g.MappedCount
+	}
+	if total != w.N {
+		t.Errorf("populations sum to %d, want %d", total, w.N)
+	}
+	if mapped != w.N-sel.DetailedKernels {
+		t.Errorf("mapped %d, want %d", mapped, w.N-sel.DetailedKernels)
+	}
+	if sel.ClassifierAccuracy < 0.6 {
+		t.Errorf("classifier holdout accuracy %.2f, want >= 0.6 on template kernels", sel.ClassifierAccuracy)
+	}
+	// With an accurate mapping, two-level selection error should stay
+	// moderate (the paper reports ~10-36% on two-level MLPerf workloads).
+	if sel.SelectionErrorPct > 50 {
+		t.Errorf("two-level selection error %.1f%%", sel.SelectionErrorPct)
+	}
+}
+
+func TestMaxDetailedCap(t *testing.T) {
+	w := workload.Find("Rodinia/gauss_208")
+	sel, err := Select(dev(), w, Options{MaxDetailed: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.DetailedKernels != 50 || !sel.TwoLevel {
+		t.Errorf("detailed = %d twoLevel = %v, want 50/true", sel.DetailedKernels, sel.TwoLevel)
+	}
+}
+
+func TestDisablePCAStillWorks(t *testing.T) {
+	w := workload.Find("Parboil/histo")
+	sel, err := Select(dev(), w, Options{DisablePCA: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.SelectionErrorPct > 10 {
+		t.Errorf("no-PCA selection error %.2f%%", sel.SelectionErrorPct)
+	}
+}
+
+func TestSelectionDeterministic(t *testing.T) {
+	w := workload.Find("Polybench/fdtd2d")
+	a, err := Select(dev(), w, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Select(dev(), w, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != b.K || a.ProjectedCycles != b.ProjectedCycles || a.SelectionErrorPct != b.SelectionErrorPct {
+		t.Error("identical seeds produced different selections")
+	}
+}
+
+func TestCrossGenerationReuse(t *testing.T) {
+	// Select on Volta, then project Turing runtimes with the same kernel
+	// IDs — the paper's key generality claim (Section 5.2.2). Verify the
+	// Volta-selected representative IDs reproduce Turing totals well.
+	w := workload.Find("Rodinia/gauss_208")
+	volta, err := Select(dev(), w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	turing := gpu.TuringRTX2060()
+	cg, err := ProjectOnDevice(turing, w, volta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 4's Turing column spans 0-35.6% error on Volta-selected
+	// kernels; anything in that band is faithful.
+	if errPct := cg.ErrorPct(); errPct > 35 {
+		t.Errorf("cross-generation error %.2f%%", errPct)
+	}
+	if cg.Speedup() < 50 {
+		t.Errorf("cross-generation speedup %.1f, want large for 414 kernels", cg.Speedup())
+	}
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

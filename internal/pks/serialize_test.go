@@ -1,0 +1,86 @@
+package pks
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pka/internal/gpu"
+	"pka/internal/workload"
+)
+
+func TestSelectionJSONRoundTrip(t *testing.T) {
+	w := workload.Find("Parboil/histo")
+	sel, err := Select(gpu.VoltaV100(), w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sel.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Workload != sel.Workload || f.K != sel.K || f.TotalKernels != w.N {
+		t.Errorf("round trip lost identity: %+v", f)
+	}
+	var weight float64
+	for i, g := range f.Groups {
+		if g.RepKernelID != sel.Groups[i].RepIndex || g.Count != sel.Groups[i].Count() {
+			t.Errorf("group %d mismatch", i)
+		}
+		weight += g.Weight
+	}
+	if weight < 0.999 || weight > 1.001 {
+		t.Errorf("weights sum to %v", weight)
+	}
+	grid, block := f.RepresentativeDims(0)
+	k := w.Kernel(f.Groups[0].RepKernelID)
+	if grid != k.Grid || block != k.Block {
+		t.Error("representative dims do not reconstruct the launch")
+	}
+}
+
+func TestSaveAndLoadJSON(t *testing.T) {
+	w := workload.Find("Rodinia/gauss_mat4")
+	sel, err := Select(gpu.VoltaV100(), w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sel.json")
+	if err := sel.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := LoadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.K != sel.K {
+		t.Errorf("K = %d, want %d", f.K, sel.K)
+	}
+	if _, err := LoadJSON(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+func TestReadJSONRejectsCorruptFiles(t *testing.T) {
+	cases := map[string]string{
+		"bad version":   `{"version":99,"workload":"x","k":1,"total_kernels":1,"groups":[{"rep_kernel_id":0,"count":1,"weight":1}]}`,
+		"k mismatch":    `{"version":1,"workload":"x","k":2,"total_kernels":1,"groups":[{"rep_kernel_id":0,"count":1,"weight":1}]}`,
+		"no groups":     `{"version":1,"workload":"x","k":0,"total_kernels":1,"groups":[]}`,
+		"bad rep id":    `{"version":1,"workload":"x","k":1,"total_kernels":1,"groups":[{"rep_kernel_id":5,"count":1,"weight":1}]}`,
+		"bad count":     `{"version":1,"workload":"x","k":1,"total_kernels":1,"groups":[{"rep_kernel_id":0,"count":0,"weight":1}]}`,
+		"count sum":     `{"version":1,"workload":"x","k":1,"total_kernels":9,"groups":[{"rep_kernel_id":0,"count":1,"weight":1}]}`,
+		"weight sum":    `{"version":1,"workload":"x","k":1,"total_kernels":1,"groups":[{"rep_kernel_id":0,"count":1,"weight":0.2}]}`,
+		"unknown field": `{"version":1,"workload":"x","k":1,"total_kernels":1,"bogus":3,"groups":[{"rep_kernel_id":0,"count":1,"weight":1}]}`,
+		"not json":      `hello`,
+	}
+	for name, doc := range cases {
+		if _, err := ReadJSON(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package profiler
+
+import (
+	"testing"
+
+	"pka/internal/gpu"
+	"pka/internal/silicon"
+	"pka/internal/trace"
+)
+
+func sample() trace.KernelDesc {
+	return trace.KernelDesc{
+		ID: 7, Name: "volta_sgemm_128x64", Grid: trace.D2(32, 16), Block: trace.D1(256),
+		SharedMemPerBlock: 8192,
+		Mix:               trace.InstrMix{Compute: 120, GlobalLoads: 12, SharedLoads: 30, SharedStores: 8},
+		CoalescingFactor:  4, WorkingSetBytes: 8 << 20, StridedFraction: 0.9,
+		DivergenceEff: 1, Seed: 3,
+	}
+}
+
+func TestDetailedRecordContents(t *testing.T) {
+	k := sample()
+	dev := gpu.VoltaV100()
+	rec, cost, err := Detailed(dev, &k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.KernelID != 7 || rec.Name != k.Name || rec.Grid != k.Grid {
+		t.Errorf("record identity wrong: %+v", rec)
+	}
+	if len(rec.Features) != trace.NumFeatures {
+		t.Errorf("features len = %d", len(rec.Features))
+	}
+	sil, _ := silicon.ExecuteKernel(dev, &k)
+	if rec.Cycles != sil.Cycles {
+		t.Errorf("cycles %d != silicon %d", rec.Cycles, sil.Cycles)
+	}
+	wantCost := sil.TimeSeconds*DetailedReplayOverhead + DetailedFixedSeconds
+	if cost != wantCost {
+		t.Errorf("cost = %v, want %v", cost, wantCost)
+	}
+}
+
+func TestDetailedCostDwarfsLight(t *testing.T) {
+	k := sample()
+	dev := gpu.VoltaV100()
+	_, dCost, err := Detailed(dev, &k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lCost, err := Light(dev, &k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dCost < 100*lCost {
+		t.Errorf("detailed cost %v should dwarf light cost %v", dCost, lCost)
+	}
+}
+
+func TestLightRecordOmitsDetailedData(t *testing.T) {
+	k := sample()
+	rec, cost, err := Light(gpu.VoltaV100(), &k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Name != k.Name || rec.Grid != k.Grid || rec.Block != k.Block || rec.SharedMem != 8192 {
+		t.Errorf("light record wrong: %+v", rec)
+	}
+	if cost <= 0 {
+		t.Error("light profiling should still cost time")
+	}
+}
+
+func TestProfilersRejectInvalidKernels(t *testing.T) {
+	k := sample()
+	k.DivergenceEff = 0
+	if _, _, err := Detailed(gpu.VoltaV100(), &k); err == nil {
+		t.Error("Detailed accepted invalid kernel")
+	}
+	if _, _, err := Light(gpu.VoltaV100(), &k); err == nil {
+		t.Error("Light accepted invalid kernel")
+	}
+}
+
+func TestLightFeaturesShape(t *testing.T) {
+	f := LightFeatures("my_kernel", trace.D1(100), trace.D1(128), 4096)
+	if len(f) != NumLightFeatures {
+		t.Fatalf("len = %d, want %d", len(f), NumLightFeatures)
+	}
+	if f[0] != 100 || f[1] != 128 || f[2] != 12800 || f[3] != 4096 {
+		t.Errorf("launch features wrong: %v", f)
+	}
+	var trigrams float64
+	for _, v := range f[4:] {
+		trigrams += v
+	}
+	if trigrams != float64(len("my_kernel")-2) {
+		t.Errorf("trigram count = %v", trigrams)
+	}
+}
+
+func TestLightFeaturesDiscriminateNames(t *testing.T) {
+	a := LightFeatures("sgemm_nt_128", trace.D1(10), trace.D1(64), 0)
+	b := LightFeatures("reduce_kernel", trace.D1(10), trace.D1(64), 0)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different names hashed identically across all buckets")
+	}
+}
+
+func TestFeaturesOfHelpersConsistent(t *testing.T) {
+	k := sample()
+	dev := gpu.VoltaV100()
+	dRec, _, err := Detailed(dev, &k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lRec, _, err := Light(dev, &k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := FeaturesOfDetailed(dRec, k.SharedMemPerBlock)
+	fl := FeaturesOfLight(lRec)
+	for i := range fd {
+		if fd[i] != fl[i] {
+			t.Fatalf("feature %d differs between detailed (%v) and light (%v) views", i, fd[i], fl[i])
+		}
+	}
+}
+
+func TestShortNameNoTrigrams(t *testing.T) {
+	f := LightFeatures("ab", trace.D1(1), trace.D1(32), 0)
+	for _, v := range f[4:] {
+		if v != 0 {
+			t.Error("2-char name should produce no trigrams")
+		}
+	}
+}

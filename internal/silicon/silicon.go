@@ -1,0 +1,166 @@
+// Package silicon stands in for real GPU hardware. The paper validates
+// Principal Kernel Analysis against silicon measurements from a V100, an
+// RTX 2060, and an RTX 3070; this environment has none of those, so the
+// repository substitutes a fast analytical performance model (documented in
+// DESIGN.md). The model plays silicon's three roles exactly:
+//
+//  1. It is fast — evaluating a kernel costs nanoseconds, so full-scale
+//     workloads with millions of launches "execute" in seconds, just as
+//     hardware does.
+//  2. It is the ground truth — per-kernel cycles from this model are what
+//     the profiler reports and what every error percentage in the
+//     experiment tables is computed against.
+//  3. It is architecture-sensitive — SM count, clocks, bandwidth, cache
+//     sizes, and per-generation ISA scaling all shift its output, so the
+//     cross-generation and SM-halving case studies are meaningful.
+//
+// The cycle-level simulator (internal/sim) is an independent model of the
+// same machine; the disagreement between the two is this repository's
+// analogue of Accel-Sim's error versus silicon, and it is emergent rather
+// than injected.
+package silicon
+
+import (
+	"fmt"
+	"math"
+
+	"pka/internal/gpu"
+	"pka/internal/trace"
+)
+
+// Result describes one kernel execution on the modeled hardware.
+type Result struct {
+	Cycles       int64
+	TimeSeconds  float64
+	ThreadInstrs float64
+	IPC          float64
+	DRAMUtil     float64
+	L2MissRate   float64
+}
+
+// KernelLaunchOverheadCycles models the driver/runtime gap between
+// consecutive kernel launches (a few microseconds on real systems).
+const KernelLaunchOverheadCycles = 2500
+
+// ExecuteKernel evaluates one kernel on the device. It returns an error if
+// the kernel is invalid or cannot be scheduled.
+func ExecuteKernel(dev gpu.Device, k *trace.KernelDesc) (Result, error) {
+	if err := k.Validate(); err != nil {
+		return Result{}, err
+	}
+	occ := dev.ComputeOccupancy(k.Resources())
+	if occ.BlocksPerSM == 0 {
+		return Result{}, fmt.Errorf("silicon: kernel %q does not fit on %s", k.Name, dev.Name)
+	}
+
+	wpb := k.WarpsPerBlock()
+	blocks := k.Grid.Count()
+	waveBlocks := occ.BlocksPerSM * dev.NumSMs
+	fullWaves := blocks / waveBlocks
+	partial := float64(blocks%waveBlocks) / float64(waveBlocks)
+
+	warpInstrPerBlock := float64(wpb) * float64(k.Mix.Total()) * dev.ISAScale
+
+	// --- Compute side: issue-throughput bound per SM, derated when too
+	// few warps are resident to hide ALU latency, and when divergence
+	// serializes the pipeline.
+	warpsPerSM := float64(occ.WarpsPerSM)
+	issueEff := warpsPerSM / float64(dev.SchedulersPerSM*dev.ALULatencyCycles)
+	if issueEff > 1 {
+		issueEff = 1
+	}
+	divPenalty := 1 + 0.25*(1-k.DivergenceEff)
+	computeWave := float64(occ.BlocksPerSM) * warpInstrPerBlock /
+		(float64(dev.SchedulersPerSM) * issueEff) * divPenalty
+
+	// --- Memory side: DRAM traffic per wave through the cache hierarchy.
+	sectorBytes := 32.0
+	lineBytes := float64(dev.CacheLineBytes)
+	globalOpsPerBlock := float64(wpb) * float64(k.Mix.GlobalOps()) * dev.ISAScale
+	// Warp-level accesses split into a strided stream (whole lines) and a
+	// scattered remainder (individual sectors).
+	linesStrided := math.Max(1, k.CoalescingFactor*sectorBytes/lineBytes)
+	l2ReqPerBlock := globalOpsPerBlock *
+		(k.StridedFraction*linesStrided + (1-k.StridedFraction)*k.CoalescingFactor)
+
+	ws := float64(k.WorkingSetBytes)
+	if ws < lineBytes {
+		ws = lineBytes
+	}
+	// Temporal reuse captured by each cache level; streaming (strided)
+	// access defeats L1 temporal reuse at line granularity.
+	l1Reuse := math.Min(1, float64(dev.L1SizeBytes)/ws) * (0.6 + 0.3*(1-k.StridedFraction))
+	l1Miss := clamp01(1 - l1Reuse)
+	l2Reuse := math.Min(1, float64(dev.L2SizeBytes)/ws) * 0.9
+	l2Miss := clamp01(1 - l2Reuse)
+
+	bytesPerReq := k.StridedFraction*lineBytes + (1-k.StridedFraction)*sectorBytes
+	dramBytesPerBlock := l2ReqPerBlock * l1Miss * l2Miss * bytesPerReq
+	memWave := float64(waveBlocks) * dramBytesPerBlock / dev.BytesPerCycle()
+
+	// --- Wave time: the binding resource plus a latency ramp that the
+	// first accesses of each wave expose.
+	ramp := float64(dev.DRAMLatency + 100)
+	waveCycles := math.Max(computeWave, memWave) + ramp
+
+	// Straggler tail from per-block work imbalance.
+	waveCycles *= 1 + 0.45*k.BlockImbalance
+
+	total := float64(fullWaves)*waveCycles + 1500 // launch/drain overhead
+	if partial > 0 {
+		// A partial wave still pays the ramp but scales the throughput
+		// portion by its occupancy of the machine.
+		total += math.Max(computeWave*partial, memWave*partial) + ramp*(1+0.45*k.BlockImbalance)
+	}
+
+	cycles := int64(total)
+	threadInstrs := float64(k.Threads()) * float64(k.Mix.Total()) * dev.ISAScale * k.DivergenceEff
+	res := Result{
+		Cycles:       cycles,
+		TimeSeconds:  total / (float64(dev.CoreClockMHz) * 1e6),
+		ThreadInstrs: threadInstrs,
+		L2MissRate:   l1Miss * l2Miss,
+		DRAMUtil:     math.Min(1, memWave/waveCycles),
+	}
+	if cycles > 0 {
+		res.IPC = threadInstrs / float64(cycles)
+	}
+	return res, nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// AppResult aggregates a whole application execution on silicon.
+type AppResult struct {
+	Kernels      int
+	Cycles       int64 // kernel cycles plus launch overheads
+	TimeSeconds  float64
+	ThreadInstrs float64
+}
+
+// ExecuteAll runs every kernel produced by next (which returns nil at the
+// end of the stream) and accumulates application totals, charging the
+// launch overhead between kernels. It is the "run it on hardware" path
+// used to establish ground-truth totals for full-scale workloads.
+func ExecuteAll(dev gpu.Device, next func() *trace.KernelDesc) (AppResult, error) {
+	var app AppResult
+	for k := next(); k != nil; k = next() {
+		r, err := ExecuteKernel(dev, k)
+		if err != nil {
+			return AppResult{}, fmt.Errorf("silicon: kernel %d: %w", app.Kernels, err)
+		}
+		app.Kernels++
+		app.Cycles += r.Cycles + KernelLaunchOverheadCycles
+		app.ThreadInstrs += r.ThreadInstrs
+	}
+	app.TimeSeconds = float64(app.Cycles) / (float64(dev.CoreClockMHz) * 1e6)
+	return app, nil
+}

@@ -1,0 +1,218 @@
+package silicon
+
+import (
+	"testing"
+
+	"pka/internal/gpu"
+	"pka/internal/sim"
+	"pka/internal/trace"
+)
+
+func kern(blocks, compute, loads int, ws int64, strided float64) trace.KernelDesc {
+	return trace.KernelDesc{
+		Name: "k", Grid: trace.D1(blocks), Block: trace.D1(256),
+		Mix:              trace.InstrMix{Compute: compute, GlobalLoads: loads},
+		CoalescingFactor: 4, WorkingSetBytes: ws, StridedFraction: strided,
+		DivergenceEff: 1, Seed: 1,
+	}
+}
+
+func TestExecuteKernelBasics(t *testing.T) {
+	k := kern(640, 200, 4, 1<<20, 0.8)
+	r, err := ExecuteKernel(gpu.VoltaV100(), &k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles <= 0 || r.TimeSeconds <= 0 || r.IPC <= 0 {
+		t.Errorf("degenerate result: %+v", r)
+	}
+	if r.DRAMUtil < 0 || r.DRAMUtil > 1 || r.L2MissRate < 0 || r.L2MissRate > 1 {
+		t.Errorf("rates out of range: %+v", r)
+	}
+}
+
+func TestExecuteKernelRejectsBadInput(t *testing.T) {
+	k := kern(10, 10, 1, 1<<20, 0.5)
+	k.DivergenceEff = 2
+	if _, err := ExecuteKernel(gpu.VoltaV100(), &k); err == nil {
+		t.Error("invalid kernel accepted")
+	}
+	k2 := kern(10, 10, 1, 1<<20, 0.5)
+	k2.SharedMemPerBlock = 1 << 30
+	if _, err := ExecuteKernel(gpu.VoltaV100(), &k2); err == nil {
+		t.Error("unschedulable kernel accepted")
+	}
+}
+
+func TestMoreWorkMoreCycles(t *testing.T) {
+	small := kern(80, 100, 2, 1<<20, 0.9)
+	big := kern(8000, 100, 2, 1<<20, 0.9)
+	rs, err := ExecuteKernel(gpu.VoltaV100(), &small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := ExecuteKernel(gpu.VoltaV100(), &big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Cycles <= rs.Cycles*10 {
+		t.Errorf("100x blocks gave %d vs %d cycles", rb.Cycles, rs.Cycles)
+	}
+}
+
+func TestV100BeatsRTX2060(t *testing.T) {
+	k := kern(4000, 150, 20, 256<<20, 0.4)
+	v, err := ExecuteKernel(gpu.VoltaV100(), &k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, err := ExecuteKernel(gpu.TuringRTX2060(), &k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tu.TimeSeconds <= v.TimeSeconds {
+		t.Errorf("2060 (%.2g s) should be slower than V100 (%.2g s)", tu.TimeSeconds, v.TimeSeconds)
+	}
+}
+
+func TestSMHalvingHurtsComputeNotBandwidth(t *testing.T) {
+	dev := gpu.VoltaV100()
+	half := dev.WithSMs(40)
+
+	compute := kern(6400, 400, 1, 1<<20, 1)
+	cf, _ := ExecuteKernel(dev, &compute)
+	ch, _ := ExecuteKernel(half, &compute)
+	cSpeed := float64(ch.Cycles) / float64(cf.Cycles)
+	if cSpeed < 1.6 {
+		t.Errorf("compute-bound SM-halving slowdown = %.2f, want ~2", cSpeed)
+	}
+
+	memory := kern(6400, 5, 40, 1<<30, 0.2)
+	mf, _ := ExecuteKernel(dev, &memory)
+	mh, _ := ExecuteKernel(half, &memory)
+	mSpeed := float64(mh.Cycles) / float64(mf.Cycles)
+	if mSpeed > 1.3 {
+		t.Errorf("bandwidth-bound SM-halving slowdown = %.2f, want ~1", mSpeed)
+	}
+}
+
+func TestCacheFootprintMatters(t *testing.T) {
+	inCache := kern(640, 20, 20, 512<<10, 0.5) // fits in L2
+	streaming := kern(640, 20, 20, 1<<30, 0.5) // far exceeds L2
+	ri, _ := ExecuteKernel(gpu.VoltaV100(), &inCache)
+	rs, _ := ExecuteKernel(gpu.VoltaV100(), &streaming)
+	if ri.L2MissRate >= rs.L2MissRate {
+		t.Errorf("L2 miss: in-cache %.2f vs streaming %.2f", ri.L2MissRate, rs.L2MissRate)
+	}
+	if ri.Cycles >= rs.Cycles {
+		t.Errorf("cycles: in-cache %d vs streaming %d", ri.Cycles, rs.Cycles)
+	}
+}
+
+func TestImbalanceExtendsRuntime(t *testing.T) {
+	reg := kern(640, 100, 5, 1<<24, 0.5)
+	irr := reg
+	irr.BlockImbalance = 1.2
+	rr, _ := ExecuteKernel(gpu.VoltaV100(), &reg)
+	ri, _ := ExecuteKernel(gpu.VoltaV100(), &irr)
+	if ri.Cycles <= rr.Cycles {
+		t.Error("imbalanced kernel should be slower")
+	}
+}
+
+func TestISAScaleShiftsInstrCounts(t *testing.T) {
+	k := kern(320, 100, 5, 1<<20, 0.8)
+	v, _ := ExecuteKernel(gpu.VoltaV100(), &k)
+	a, _ := ExecuteKernel(gpu.AmpereRTX3070(), &k)
+	if a.ThreadInstrs <= v.ThreadInstrs {
+		t.Error("Ampere ISA scale should raise instruction counts")
+	}
+}
+
+func TestExecuteAll(t *testing.T) {
+	ks := []trace.KernelDesc{kern(80, 50, 2, 1<<20, 0.9), kern(160, 80, 4, 1<<22, 0.7)}
+	i := 0
+	next := func() *trace.KernelDesc {
+		if i >= len(ks) {
+			return nil
+		}
+		k := &ks[i]
+		i++
+		return k
+	}
+	app, err := ExecuteAll(gpu.VoltaV100(), next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Kernels != 2 {
+		t.Errorf("kernels = %d", app.Kernels)
+	}
+	r0, _ := ExecuteKernel(gpu.VoltaV100(), &ks[0])
+	r1, _ := ExecuteKernel(gpu.VoltaV100(), &ks[1])
+	want := r0.Cycles + r1.Cycles + 2*KernelLaunchOverheadCycles
+	if app.Cycles != want {
+		t.Errorf("app cycles = %d, want %d", app.Cycles, want)
+	}
+	if app.TimeSeconds <= 0 {
+		t.Error("zero app time")
+	}
+}
+
+func TestExecuteAllPropagatesErrors(t *testing.T) {
+	bad := kern(10, 10, 1, 1<<20, 0.5)
+	bad.CoalescingFactor = 0
+	served := false
+	next := func() *trace.KernelDesc {
+		if served {
+			return nil
+		}
+		served = true
+		return &bad
+	}
+	if _, err := ExecuteAll(gpu.VoltaV100(), next); err == nil {
+		t.Error("invalid kernel not reported")
+	}
+}
+
+// The load-bearing property of the whole reproduction: the analytical
+// silicon model and the cycle-level simulator must broadly agree (they are
+// two models of the same machine). The paper's Accel-Sim baseline shows
+// ~27% mean error vs silicon; we accept a correlated relationship here and
+// measure the actual error distribution in the experiments.
+func TestSiliconTracksSimulator(t *testing.T) {
+	kernels := []trace.KernelDesc{
+		kern(640, 300, 3, 1<<20, 0.9),  // compute bound
+		kern(640, 10, 40, 1<<30, 0.2),  // bandwidth bound
+		kern(640, 60, 12, 16<<20, 0.6), // mixed
+		kern(100, 150, 6, 4<<20, 0.8),  // partial wave
+	}
+	var silMax, simMax int
+	var silBest, simBest int64
+	for i := range kernels {
+		k := kernels[i]
+		k.Seed = uint64(i + 10)
+		sil, err := ExecuteKernel(gpu.VoltaV100(), &k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simr, err := sim.New(gpu.VoltaV100()).RunKernel(&k, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(simr.Cycles) / float64(sil.Cycles)
+		if ratio < 0.2 || ratio > 5 {
+			t.Errorf("kernel %d: simulator %d vs silicon %d cycles (ratio %.2f) — models diverged",
+				i, simr.Cycles, sil.Cycles, ratio)
+		}
+		if sil.Cycles > silBest {
+			silBest, silMax = sil.Cycles, i
+		}
+		if simr.Cycles > simBest {
+			simBest, simMax = simr.Cycles, i
+		}
+	}
+	// The two models must also agree on which kernel is the slowest.
+	if silMax != simMax {
+		t.Errorf("slowest kernel disagreement: silicon says %d, simulator says %d", silMax, simMax)
+	}
+}

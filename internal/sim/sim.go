@@ -1,0 +1,534 @@
+// Package sim implements a from-scratch cycle-level GPU simulator in the
+// spirit of Accel-Sim: streaming multiprocessors with per-scheduler warp
+// issue, scoreboarded warp latencies, set-associative L1 caches per SM, a
+// shared L2, a bandwidth-constrained DRAM channel, and a thread-block
+// dispatcher. It executes the synthetic warp instruction streams derived
+// from trace.KernelDesc and exposes per-cycle telemetry so that online
+// policies — Principal Kernel Projection in particular — can observe the
+// instantaneous IPC signal and stop simulation once it stabilizes.
+//
+// The model is single-threaded and deterministic: the same kernel on the
+// same device always produces the same cycle count.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"pka/internal/gpu"
+	"pka/internal/mem"
+	"pka/internal/trace"
+)
+
+// Instruction class codes used in synthetic warp streams.
+const (
+	opCompute = iota
+	opGlobalLoad
+	opGlobalStore
+	opLocalLoad
+	opSharedLoad
+	opSharedStore
+	opAtomic
+	opTensor
+)
+
+// Telemetry is the per-cycle view handed to a Controller. Fields are
+// cumulative unless stated otherwise.
+type Telemetry struct {
+	Cycle           int64
+	IdleGap         int64   // cycles skipped since the previous tick (no warp was ready)
+	ThreadInstrs    float64 // cumulative executed thread instructions
+	WarpInstrs      int64   // cumulative issued warp instructions
+	IssuedThisCycle float64 // thread instructions issued on this cycle
+	BlocksCompleted int
+	BlocksTotal     int
+	WaveSize        int // blocks that fill the device at this kernel's occupancy
+}
+
+// Controller observes simulation progress once per active cycle and may
+// stop the kernel early by returning true. PKP is a Controller; so is the
+// first-N-instructions baseline.
+type Controller interface {
+	Tick(t *Telemetry) (stop bool)
+}
+
+// ControllerFunc adapts a function to the Controller interface.
+type ControllerFunc func(t *Telemetry) bool
+
+// Tick implements Controller.
+func (f ControllerFunc) Tick(t *Telemetry) bool { return f(t) }
+
+// IPCSample is one bucket of the optional IPC/L2/DRAM trace.
+type IPCSample struct {
+	Cycle    int64
+	IPC      float64 // thread instructions per cycle over the bucket
+	L2Miss   float64 // cumulative L2 miss rate at bucket end
+	DRAMUtil float64 // cumulative DRAM utilization at bucket end
+}
+
+// KernelResult aggregates one kernel simulation.
+type KernelResult struct {
+	Kernel     *trace.KernelDesc
+	Cycles     int64
+	WarpInstrs int64
+	// ExpectedWarpInstrs is the full launch's dynamic warp-instruction
+	// count (what WarpInstrs would reach if the run completed); truncation
+	// policies project progress against it.
+	ExpectedWarpInstrs int64
+	ThreadInstrs       float64
+	IPC                float64 // thread instructions per cycle
+	L2MissRate         float64
+	DRAMUtil           float64
+	BlocksCompleted    int
+	BlocksTotal        int
+	WaveSize           int
+	StoppedEarly       bool
+	Trace              []IPCSample // populated when Options.TraceEvery > 0
+}
+
+// Options tunes a simulation run.
+type Options struct {
+	// Controller may stop the kernel early; nil runs to completion.
+	Controller Controller
+	// TraceEvery > 0 records an IPCSample every TraceEvery cycles.
+	TraceEvery int64
+	// MaxCycles caps runaway kernels. Zero applies DefaultMaxCycles.
+	MaxCycles int64
+}
+
+// DefaultMaxCycles bounds a single kernel simulation.
+const DefaultMaxCycles = 200_000_000
+
+// Simulator owns the device state. The L2 and DRAM persist across kernels
+// within one Simulator (warm caches), while per-kernel statistics are
+// isolated via ResetStats.
+type Simulator struct {
+	dev  gpu.Device
+	l2   *mem.Cache
+	dram *mem.DRAM
+	l1   []*mem.Cache
+	sms  []smState
+}
+
+type warpSlot struct {
+	nextReady  int64
+	pending    int64 // completion time of the older in-flight load (0 = none)
+	instrLeft  int32
+	patPos     int32
+	active     bool
+	cursor     uint64 // strided address cursor (in sectors)
+	base       uint64 // strided base address
+	rng        uint64 // per-warp xorshift state
+	blockSlot  int32
+	threadsPer float64 // thread instructions per warp instruction
+}
+
+type blockSlotState struct {
+	live      bool
+	warpsLeft int
+}
+
+type smState struct {
+	warps    []warpSlot
+	blocks   []blockSlotState
+	minReady int64
+	resident int // live blocks
+	rrPtr    int
+}
+
+// New creates a simulator for the given device.
+func New(dev gpu.Device) *Simulator {
+	s := &Simulator{
+		dev:  dev,
+		l2:   mem.NewCache(dev.L2SizeBytes, 16, dev.CacheLineBytes),
+		dram: mem.NewDRAM(dev.BytesPerCycle(), dev.DRAMLatency),
+		l1:   make([]*mem.Cache, dev.NumSMs),
+		sms:  make([]smState, dev.NumSMs),
+	}
+	for i := range s.l1 {
+		s.l1[i] = mem.NewCache(dev.L1SizeBytes, 8, dev.CacheLineBytes)
+	}
+	return s
+}
+
+// Device returns the simulated device configuration.
+func (s *Simulator) Device() gpu.Device { return s.dev }
+
+// buildPattern produces the kernel's per-thread instruction-class sequence,
+// deterministically shuffled so memory operations interleave with compute
+// the way compiled kernels do.
+func buildPattern(k *trace.KernelDesc) []uint8 {
+	m := k.Mix
+	pattern := make([]uint8, 0, m.Total())
+	appendN := func(op uint8, n int) {
+		for i := 0; i < n; i++ {
+			pattern = append(pattern, op)
+		}
+	}
+	appendN(opCompute, m.Compute)
+	appendN(opGlobalLoad, m.GlobalLoads)
+	appendN(opGlobalStore, m.GlobalStores)
+	appendN(opLocalLoad, m.LocalLoads)
+	appendN(opSharedLoad, m.SharedLoads)
+	appendN(opSharedStore, m.SharedStores)
+	appendN(opAtomic, m.GlobalAtomics)
+	appendN(opTensor, m.TensorOps)
+	// Fisher-Yates with a per-kernel seed.
+	st := k.Seed ^ 0xDEADBEEFCAFE
+	next := func() uint64 {
+		st ^= st << 13
+		st ^= st >> 7
+		st ^= st << 17
+		return st
+	}
+	for i := len(pattern) - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		pattern[i], pattern[j] = pattern[j], pattern[i]
+	}
+	return pattern
+}
+
+// blockWorkScale returns the per-block instruction multiplier implementing
+// BlockImbalance as a lognormal distribution with unit mean.
+func blockWorkScale(k *trace.KernelDesc, blockID int) float64 {
+	cv := k.BlockImbalance
+	if cv <= 0 {
+		return 1
+	}
+	sigma2 := math.Log(1 + cv*cv)
+	sigma := math.Sqrt(sigma2)
+	// Two independent hashes -> Box-Muller normal.
+	h := k.Seed + uint64(blockID)*0x9E3779B97F4A7C15
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	u1 := float64(h>>11) / (1 << 53)
+	h2 := h*0x94D049BB133111EB + 0x2545F4914F6CDD1D
+	h2 ^= h2 >> 31
+	u2 := float64(h2>>11) / (1 << 53)
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return math.Exp(sigma*z - sigma2/2)
+}
+
+// RunKernel simulates one kernel launch and returns its result. It returns
+// an error if the kernel fails validation or cannot be scheduled on the
+// device at all.
+func (s *Simulator) RunKernel(k *trace.KernelDesc, opts Options) (*KernelResult, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	occ := s.dev.ComputeOccupancy(k.Resources())
+	if occ.BlocksPerSM == 0 {
+		return nil, fmt.Errorf("sim: kernel %q does not fit on %s", k.Name, s.dev.Name)
+	}
+	maxCycles := opts.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = DefaultMaxCycles
+	}
+
+	pattern := buildPattern(k)
+	wpb := k.WarpsPerBlock()
+	blocksTotal := k.Grid.Count()
+	wave := occ.BlocksPerSM * s.dev.NumSMs
+	threadsPer := float64(s.dev.WarpSize) * k.DivergenceEff
+	isa := s.dev.ISAScale
+	baseInstr := float64(k.Mix.Total()) * isa
+	wsLines := uint64(k.WorkingSetBytes / int64(s.dev.CacheLineBytes))
+	if wsLines < 1 {
+		wsLines = 1
+	}
+
+	// Reset per-kernel statistics and re-align the DRAM pipe to the fresh
+	// cycle clock; retain warmed cache contents.
+	s.l2.ResetStats()
+	s.dram.ResetStats()
+	s.dram.Rebase()
+	for _, c := range s.l1 {
+		c.ResetStats()
+	}
+
+	// Initialize SM state for this kernel's occupancy shape.
+	numSMs := s.dev.NumSMs
+	for i := 0; i < numSMs; i++ {
+		sm := &s.sms[i]
+		slots := occ.BlocksPerSM
+		sm.warps = make([]warpSlot, slots*wpb)
+		sm.blocks = make([]blockSlotState, slots)
+		sm.minReady = 0
+		sm.resident = 0
+		sm.rrPtr = 0
+	}
+
+	nextBlock := 0
+	completed := 0
+	dispatch := func(smIdx, slot int, now int64) {
+		sm := &s.sms[smIdx]
+		blockID := nextBlock
+		nextBlock++
+		scale := blockWorkScale(k, blockID)
+		instr := int32(baseInstr*scale + 0.5)
+		if instr < 1 {
+			instr = 1
+		}
+		sm.blocks[slot] = blockSlotState{live: true, warpsLeft: wpb}
+		sm.resident++
+		for w := 0; w < wpb; w++ {
+			gw := uint64(blockID)*uint64(wpb) + uint64(w)
+			ws := &sm.warps[slot*wpb+w]
+			*ws = warpSlot{
+				nextReady:  now + 20, // block launch / pipe fill latency
+				instrLeft:  instr,
+				active:     true,
+				base:       (gw * 517) % wsLines * uint64(s.dev.CacheLineBytes),
+				rng:        k.Seed ^ (gw+1)*0xA24BAED4963EE407,
+				blockSlot:  int32(slot),
+				threadsPer: threadsPer,
+			}
+		}
+		sm.minReady = now
+	}
+
+	// Fill the initial wave breadth-first across SMs, the way the hardware
+	// block scheduler distributes a partial grid.
+	for slot := 0; slot < occ.BlocksPerSM && nextBlock < blocksTotal; slot++ {
+		for i := 0; i < numSMs && nextBlock < blocksTotal; i++ {
+			dispatch(i, slot, 0)
+		}
+	}
+
+	var (
+		now          int64
+		warpInstrs   int64
+		threadInstrs float64
+		idleGap      int64
+		stopped      bool
+		traceBuf     []IPCSample
+		bucketInstr  float64
+		bucketStart  int64
+	)
+	tele := Telemetry{BlocksTotal: blocksTotal, WaveSize: wave}
+	lineBytes := s.dev.CacheLineBytes
+	sectorBytes := 32
+	sectorsPerLine := uint64(lineBytes / sectorBytes)
+	cf := k.CoalescingFactor
+	nSectors := int(cf + 0.5)
+	if nSectors < 1 {
+		nSectors = 1
+	}
+
+	for completed < blocksTotal && now < maxCycles {
+		issuedCycle := 0
+
+		for i := 0; i < numSMs; i++ {
+			sm := &s.sms[i]
+			if sm.resident == 0 || sm.minReady > now {
+				continue
+			}
+			issueBudget := s.dev.SchedulersPerSM
+			newMin := int64(math.MaxInt64)
+			n := len(sm.warps)
+			for scan := 0; scan < n; scan++ {
+				idx := sm.rrPtr + scan
+				if idx >= n {
+					idx -= n
+				}
+				w := &sm.warps[idx]
+				if !w.active {
+					continue
+				}
+				if w.nextReady > now || issueBudget == 0 {
+					if w.nextReady < newMin {
+						newMin = w.nextReady
+					}
+					continue
+				}
+				// Issue one instruction from this warp.
+				issueBudget--
+				issuedCycle++
+				op := pattern[w.patPos]
+				w.patPos++
+				if int(w.patPos) == len(pattern) {
+					w.patPos = 0
+				}
+				switch op {
+				case opCompute:
+					w.nextReady = now + int64(s.dev.ALULatencyCycles)
+				case opTensor:
+					w.nextReady = now + int64(s.dev.ALULatencyCycles)*2
+				case opSharedLoad, opSharedStore:
+					w.nextReady = now + int64(s.dev.SMemLatency)
+				case opAtomic:
+					done := s.memAccess(i, w, now, 1, sectorBytes, wsLines, sectorsPerLine, false)
+					w.nextReady = done + 16 // serialization penalty
+				default: // global/local loads & stores
+					strided := w.nextFloat() < k.StridedFraction && op != opLocalLoad
+					done := s.memAccess(i, w, now, nSectors, sectorBytes, wsLines, sectorsPerLine, strided)
+					if op == opGlobalStore {
+						// Stores retire through the write queue without
+						// stalling the warp.
+						w.nextReady = now + 1
+					} else if w.pending <= now {
+						// Scoreboard with two outstanding loads per warp:
+						// the first miss does not block issue, the second
+						// stalls until the older one returns.
+						w.pending = done
+						w.nextReady = now + 1
+					} else {
+						w.nextReady = w.pending
+						w.pending = done
+					}
+				}
+				if w.nextReady < newMin {
+					newMin = w.nextReady
+				}
+				w.instrLeft--
+				if w.instrLeft == 0 {
+					w.active = false
+					bs := &sm.blocks[w.blockSlot]
+					bs.warpsLeft--
+					if bs.warpsLeft == 0 {
+						bs.live = false
+						sm.resident--
+						completed++
+						if nextBlock < blocksTotal {
+							dispatch(i, int(w.blockSlot), now)
+							newMin = now
+						}
+					}
+				}
+			}
+			sm.rrPtr++
+			if sm.rrPtr >= n {
+				sm.rrPtr = 0
+			}
+			if newMin == math.MaxInt64 {
+				newMin = now + 1
+			}
+			sm.minReady = newMin
+			warpInstrs += int64(s.dev.SchedulersPerSM - issueBudget)
+		}
+
+		issuedThreads := float64(issuedCycle) * threadsPer
+		threadInstrs += issuedThreads
+		bucketInstr += issuedThreads
+
+		if issuedCycle > 0 {
+			tele.Cycle = now
+			tele.IdleGap = idleGap
+			tele.ThreadInstrs = threadInstrs
+			tele.WarpInstrs = warpInstrs
+			tele.IssuedThisCycle = issuedThreads
+			tele.BlocksCompleted = completed
+			idleGap = 0
+			if opts.Controller != nil && opts.Controller.Tick(&tele) {
+				stopped = true
+				now++
+				break
+			}
+			now++
+		} else {
+			// Nothing ready anywhere: jump to the next event.
+			next := int64(math.MaxInt64)
+			for i := 0; i < numSMs; i++ {
+				sm := &s.sms[i]
+				if sm.resident > 0 && sm.minReady < next {
+					next = sm.minReady
+				}
+			}
+			if next == math.MaxInt64 || next <= now {
+				next = now + 1
+			}
+			idleGap += next - now
+			now = next
+		}
+
+		if opts.TraceEvery > 0 && now-bucketStart >= opts.TraceEvery {
+			traceBuf = append(traceBuf, IPCSample{
+				Cycle:    now,
+				IPC:      bucketInstr / float64(now-bucketStart),
+				L2Miss:   s.l2.MissRate(),
+				DRAMUtil: s.dram.Utilization(now),
+			})
+			bucketStart = now
+			bucketInstr = 0
+		}
+	}
+
+	res := &KernelResult{
+		Kernel:             k,
+		Cycles:             now,
+		WarpInstrs:         warpInstrs,
+		ExpectedWarpInstrs: k.TotalWarpInstructions(s.dev),
+		ThreadInstrs:       threadInstrs,
+		L2MissRate:         s.l2.MissRate(),
+		DRAMUtil:           s.dram.Utilization(now),
+		BlocksCompleted:    completed,
+		BlocksTotal:        blocksTotal,
+		WaveSize:           wave,
+		StoppedEarly:       stopped || completed < blocksTotal,
+		Trace:              traceBuf,
+	}
+	if now > 0 {
+		res.IPC = threadInstrs / float64(now)
+	}
+	return res, nil
+}
+
+// memAccess performs one warp-level global access touching nSectors
+// 32-byte sectors, returning the completion cycle.
+func (s *Simulator) memAccess(smIdx int, w *warpSlot, now int64, nSectors, sectorBytes int, wsLines, sectorsPerLine uint64, strided bool) int64 {
+	l1 := s.l1[smIdx]
+	var done int64 = now
+	if strided {
+		// Consecutive sectors starting at the warp's cursor.
+		startSector := w.base/uint64(sectorBytes) + w.cursor
+		w.cursor += uint64(nSectors)
+		firstLine := startSector / sectorsPerLine
+		lastLine := (startSector + uint64(nSectors) - 1) / sectorsPerLine
+		for line := firstLine; line <= lastLine; line++ {
+			addr := line % wsLines * uint64(s.dev.CacheLineBytes)
+			d := s.lineAccess(l1, addr, now, s.dev.CacheLineBytes)
+			if d > done {
+				done = d
+			}
+		}
+		return done
+	}
+	for i := 0; i < nSectors; i++ {
+		line := w.nextUint() % wsLines
+		addr := line * uint64(s.dev.CacheLineBytes)
+		d := s.lineAccess(l1, addr, now, sectorBytes)
+		if d > done {
+			done = d
+		}
+	}
+	return done
+}
+
+// lineAccess walks one address through L1 -> L2 -> DRAM and returns the
+// completion cycle. fillBytes is the DRAM transfer size on a full miss.
+func (s *Simulator) lineAccess(l1 *mem.Cache, addr uint64, now int64, fillBytes int) int64 {
+	if l1.Access(addr) {
+		return now + int64(s.dev.L1LatencyCycles)
+	}
+	if s.l2.Access(addr) {
+		return now + int64(s.dev.L2LatencyCycles)
+	}
+	return s.dram.Request(now+int64(s.dev.L2LatencyCycles), fillBytes)
+}
+
+// nextUint advances the warp's xorshift address stream.
+func (w *warpSlot) nextUint() uint64 {
+	w.rng ^= w.rng << 13
+	w.rng ^= w.rng >> 7
+	w.rng ^= w.rng << 17
+	return w.rng
+}
+
+// nextFloat returns a uniform sample in [0, 1) from the warp's stream.
+func (w *warpSlot) nextFloat() float64 {
+	return float64(w.nextUint()>>11) / (1 << 53)
+}

@@ -1,0 +1,316 @@
+package sim
+
+import (
+	"testing"
+
+	"pka/internal/gpu"
+	"pka/internal/trace"
+)
+
+// computeKernel is a small compute-bound kernel.
+func computeKernel(blocks int) trace.KernelDesc {
+	return trace.KernelDesc{
+		Name:  "compute",
+		Grid:  trace.D1(blocks),
+		Block: trace.D1(256),
+		Mix: trace.InstrMix{
+			Compute:     200,
+			GlobalLoads: 2,
+		},
+		CoalescingFactor: 4,
+		WorkingSetBytes:  64 * 1024,
+		StridedFraction:  1,
+		DivergenceEff:    1,
+		Seed:             1,
+	}
+}
+
+// memoryKernel streams a large working set through DRAM.
+func memoryKernel(blocks int) trace.KernelDesc {
+	return trace.KernelDesc{
+		Name:  "memory",
+		Grid:  trace.D1(blocks),
+		Block: trace.D1(256),
+		Mix: trace.InstrMix{
+			Compute:     10,
+			GlobalLoads: 40,
+		},
+		CoalescingFactor: 8,
+		WorkingSetBytes:  512 * 1024 * 1024,
+		StridedFraction:  0.2,
+		DivergenceEff:    1,
+		Seed:             2,
+	}
+}
+
+func TestRunKernelCompletes(t *testing.T) {
+	s := New(gpu.VoltaV100())
+	k := computeKernel(160)
+	res, err := s.RunKernel(&k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlocksCompleted != 160 || res.StoppedEarly {
+		t.Errorf("completed %d/%d, early=%v", res.BlocksCompleted, res.BlocksTotal, res.StoppedEarly)
+	}
+	if res.Cycles <= 0 || res.IPC <= 0 {
+		t.Errorf("cycles=%d ipc=%v", res.Cycles, res.IPC)
+	}
+	// All blocks execute ~202 warp instructions per warp * 8 warps.
+	wantWarp := int64(160 * 8 * 202)
+	if res.WarpInstrs != wantWarp {
+		t.Errorf("warp instrs = %d, want %d", res.WarpInstrs, wantWarp)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	k := memoryKernel(100)
+	a, err := New(gpu.VoltaV100()).RunKernel(&k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(gpu.VoltaV100()).RunKernel(&k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.WarpInstrs != b.WarpInstrs || a.L2MissRate != b.L2MissRate {
+		t.Errorf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestRejectsInvalidKernel(t *testing.T) {
+	s := New(gpu.VoltaV100())
+	k := computeKernel(10)
+	k.DivergenceEff = 0
+	if _, err := s.RunKernel(&k, Options{}); err == nil {
+		t.Error("invalid kernel accepted")
+	}
+	k2 := computeKernel(10)
+	k2.SharedMemPerBlock = 1 << 30 // cannot fit on any SM
+	if _, err := s.RunKernel(&k2, Options{}); err == nil {
+		t.Error("unschedulable kernel accepted")
+	}
+}
+
+func TestComputeKernelIsComputeBound(t *testing.T) {
+	s := New(gpu.VoltaV100())
+	k := computeKernel(640)
+	res, err := s.RunKernel(&k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DRAMUtil > 0.5 {
+		t.Errorf("compute kernel DRAM util = %v", res.DRAMUtil)
+	}
+	// Peak thread IPC on V100 = 80 SMs * 4 schedulers * 32 lanes = 10240.
+	// A compute-bound kernel with full occupancy should get a large share.
+	if res.IPC < 2000 {
+		t.Errorf("compute kernel IPC = %v, want >= 2000", res.IPC)
+	}
+}
+
+func TestMemoryKernelIsMemoryBound(t *testing.T) {
+	s := New(gpu.VoltaV100())
+	k := memoryKernel(640)
+	res, err := s.RunKernel(&k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DRAMUtil < 0.5 {
+		t.Errorf("memory kernel DRAM util = %v, want >= 0.5", res.DRAMUtil)
+	}
+	if res.L2MissRate < 0.3 {
+		t.Errorf("streaming kernel L2 miss rate = %v", res.L2MissRate)
+	}
+	cRes, _ := s.RunKernel(&trace.KernelDesc{
+		Name: "c", Grid: trace.D1(640), Block: trace.D1(256),
+		Mix:              trace.InstrMix{Compute: 50, GlobalLoads: 2},
+		CoalescingFactor: 4, WorkingSetBytes: 64 * 1024, StridedFraction: 1,
+		DivergenceEff: 1, Seed: 9,
+	}, Options{})
+	if res.IPC >= cRes.IPC {
+		t.Errorf("memory-bound IPC %v should be below compute-bound IPC %v", res.IPC, cRes.IPC)
+	}
+}
+
+func TestSmallWorkingSetHitsCache(t *testing.T) {
+	s := New(gpu.VoltaV100())
+	k := computeKernel(320)
+	k.WorkingSetBytes = 16 * 1024 // fits in L1
+	res, err := s.RunKernel(&k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DRAMUtil > 0.2 {
+		t.Errorf("cache-resident kernel DRAM util = %v", res.DRAMUtil)
+	}
+}
+
+func TestMoreSMsIsFaster(t *testing.T) {
+	k := computeKernel(640)
+	full, err := New(gpu.VoltaV100()).RunKernel(&k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := New(gpu.VoltaV100().WithSMs(40)).RunKernel(&k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(half.Cycles) / float64(full.Cycles)
+	if speedup < 1.5 {
+		t.Errorf("80-vs-40 SM speedup = %.2f, want >= 1.5 for compute-bound", speedup)
+	}
+}
+
+func TestBandwidthBoundInsensitiveToSMs(t *testing.T) {
+	k := memoryKernel(640)
+	full, err := New(gpu.VoltaV100()).RunKernel(&k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := New(gpu.VoltaV100().WithSMs(40)).RunKernel(&k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(half.Cycles) / float64(full.Cycles)
+	if speedup > 1.6 {
+		t.Errorf("bandwidth-bound kernel sped up %.2fx with SM doubling", speedup)
+	}
+}
+
+func TestControllerStopsEarly(t *testing.T) {
+	s := New(gpu.VoltaV100())
+	k := computeKernel(640)
+	var ticks int
+	res, err := s.RunKernel(&k, Options{
+		Controller: ControllerFunc(func(tl *Telemetry) bool {
+			ticks++
+			return tl.BlocksCompleted >= 100
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.StoppedEarly {
+		t.Error("controller stop not reported")
+	}
+	if res.BlocksCompleted < 100 || res.BlocksCompleted >= 640 {
+		t.Errorf("stopped at %d blocks", res.BlocksCompleted)
+	}
+	if ticks == 0 {
+		t.Error("controller never ticked")
+	}
+}
+
+func TestTelemetryMonotone(t *testing.T) {
+	s := New(gpu.VoltaV100())
+	k := memoryKernel(80)
+	var lastCycle int64 = -1
+	var lastInstr float64 = -1
+	_, err := s.RunKernel(&k, Options{
+		Controller: ControllerFunc(func(tl *Telemetry) bool {
+			if tl.Cycle < lastCycle {
+				t.Fatal("cycle went backwards")
+			}
+			if tl.ThreadInstrs < lastInstr {
+				t.Fatal("instruction count went backwards")
+			}
+			if tl.WaveSize <= 0 || tl.BlocksTotal != 80 {
+				t.Fatalf("bad telemetry: %+v", tl)
+			}
+			lastCycle, lastInstr = tl.Cycle, tl.ThreadInstrs
+			return false
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceCollection(t *testing.T) {
+	s := New(gpu.VoltaV100())
+	k := computeKernel(320)
+	res, err := s.RunKernel(&k, Options{TraceEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace samples")
+	}
+	for i, smp := range res.Trace {
+		if smp.IPC < 0 || smp.L2Miss < 0 || smp.L2Miss > 1 || smp.DRAMUtil < 0 || smp.DRAMUtil > 1 {
+			t.Fatalf("sample %d out of range: %+v", i, smp)
+		}
+		if i > 0 && smp.Cycle <= res.Trace[i-1].Cycle {
+			t.Fatalf("trace cycles not increasing at %d", i)
+		}
+	}
+}
+
+func TestMaxCyclesCap(t *testing.T) {
+	s := New(gpu.VoltaV100())
+	k := memoryKernel(10000)
+	res, err := s.RunKernel(&k, Options{MaxCycles: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles > 6000 {
+		t.Errorf("cap ignored: %d cycles", res.Cycles)
+	}
+	if !res.StoppedEarly {
+		t.Error("capped run not marked early")
+	}
+}
+
+func TestBlockImbalanceExtendsTail(t *testing.T) {
+	reg := computeKernel(320)
+	irr := computeKernel(320)
+	irr.BlockImbalance = 1.5
+	irr.Seed = 77
+	r1, err := New(gpu.VoltaV100()).RunKernel(&reg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := New(gpu.VoltaV100()).RunKernel(&irr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Cycles <= r1.Cycles {
+		t.Errorf("imbalanced kernel (%d cycles) not slower than regular (%d)", r2.Cycles, r1.Cycles)
+	}
+}
+
+func TestIPCRampVisibleInTrace(t *testing.T) {
+	// Long kernel: early trace buckets (cache warmup) should differ from
+	// the steady state, which is what PKP's windowed detector keys on.
+	s := New(gpu.VoltaV100())
+	k := computeKernel(3200)
+	k.WorkingSetBytes = 8 * 1024 * 1024
+	k.StridedFraction = 0.5
+	res, err := s.RunKernel(&k, Options{TraceEvery: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) < 5 {
+		t.Skipf("trace too short: %d buckets", len(res.Trace))
+	}
+	mid := res.Trace[len(res.Trace)/2].IPC
+	if mid <= 0 {
+		t.Error("zero steady-state IPC")
+	}
+}
+
+func TestFewerBlocksThanWaveStillRuns(t *testing.T) {
+	s := New(gpu.VoltaV100())
+	k := computeKernel(3) // far fewer blocks than SMs
+	res, err := s.RunKernel(&k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlocksCompleted != 3 {
+		t.Errorf("completed %d, want 3", res.BlocksCompleted)
+	}
+	if res.WaveSize <= 3 {
+		t.Errorf("wave %d should exceed block count", res.WaveSize)
+	}
+}

@@ -1,0 +1,317 @@
+// Package tbpoint implements the TBPoint baseline (Huang et al., IPDPS
+// 2014) the paper compares against in Section 5.1. TBPoint reduces the
+// kernels simulated by hierarchically clustering per-kernel feature
+// vectors gathered from full functional simulation, sweeping a merge
+// threshold instead of an interpretable K, and reducing intra-kernel work
+// conservatively by simulating a fixed fraction of each representative's
+// thread blocks.
+//
+// Two deliberate fidelity points from the paper are preserved:
+//
+//   - TBPoint needs statistics for *every* kernel from functional
+//     simulation before it can cluster, and hierarchical clustering has a
+//     quadratic memory footprint — so the implementation refuses
+//     workloads beyond the scaling wall (cluster.MaxHierarchicalPoints),
+//     exactly the reason the paper gives for why TBPoint cannot handle
+//     MLPerf-scale applications.
+//
+//   - In lieu of the original's hand-tuned threshold, the paper's
+//     comparison sweeps 20 thresholds in [0.01, 0.2] and applies the same
+//     target-error criterion Principal Kernel Selection uses; this
+//     implementation does the same.
+package tbpoint
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pka/internal/cluster"
+	"pka/internal/gpu"
+	"pka/internal/pkp"
+	"pka/internal/profiler"
+	"pka/internal/silicon"
+	"pka/internal/sim"
+	"pka/internal/stats"
+	"pka/internal/trace"
+	"pka/internal/workload"
+)
+
+// Options configures the baseline.
+type Options struct {
+	// TargetErrorPct matches PKS's selection criterion (default 5).
+	TargetErrorPct float64
+	// NumThresholds is the sweep resolution over [MinThreshold,
+	// MaxThreshold] (default 20 over [0.01, 0.2]).
+	NumThresholds              int
+	MinThreshold, MaxThreshold float64
+	// BlockFraction is the conservative intra-kernel reduction: the
+	// fraction of each representative's thread blocks simulated before
+	// linear projection (default 0.5).
+	BlockFraction float64
+}
+
+func (o Options) filled() Options {
+	if o.TargetErrorPct <= 0 {
+		o.TargetErrorPct = 5
+	}
+	if o.NumThresholds <= 0 {
+		o.NumThresholds = 20
+	}
+	if o.MinThreshold <= 0 {
+		o.MinThreshold = 0.01
+	}
+	if o.MaxThreshold <= 0 {
+		o.MaxThreshold = 0.2
+	}
+	if o.BlockFraction <= 0 || o.BlockFraction > 1 {
+		o.BlockFraction = 0.5
+	}
+	return o
+}
+
+// ErrTooLarge reports that the workload exceeds TBPoint's scaling wall.
+var ErrTooLarge = errors.New("tbpoint: workload too large for hierarchical clustering")
+
+// Group is one cluster with its first-chronological representative.
+type Group struct {
+	RepIndex int
+	Count    int
+	// RepCycles is the representative's functional-simulation cycle count
+	// used during selection.
+	RepCycles int64
+}
+
+// Selection is TBPoint's kernel-reduction output.
+type Selection struct {
+	Workload  string
+	Threshold float64
+	K         int
+	Groups    []Group
+	// SelectionErrorPct is the projected-vs-actual error over the
+	// functional-simulation totals.
+	SelectionErrorPct float64
+	// BlockFraction echoes the intra-kernel reduction setting.
+	BlockFraction float64
+	SweepErrors   []float64
+}
+
+// Select runs TBPoint's kernel clustering for the workload. The per-kernel
+// statistics that the original gathers via full functional simulation
+// (Ocelot) come from the detailed profiler here — the same information at
+// the same "must touch every kernel" cost structure.
+func Select(dev gpu.Device, w *workload.Workload, opts Options) (*Selection, error) {
+	o := opts.filled()
+	if w.N > cluster.MaxHierarchicalPoints {
+		return nil, fmt.Errorf("%w: %s has %d kernels", ErrTooLarge, w.FullName(), w.N)
+	}
+
+	recs := make([]profiler.DetailedRecord, 0, w.N)
+	next := w.Iterator()
+	for k := next(); k != nil; k = next() {
+		rec, _, err := profiler.Detailed(dev, k)
+		if err != nil {
+			return nil, fmt.Errorf("tbpoint: functional simulation: %w", err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) == 0 {
+		return nil, errors.New("tbpoint: workload has no kernels")
+	}
+
+	// Standardized log-compressed feature vectors; distances are
+	// normalized by the maximum pairwise distance so the paper's
+	// [0.01, 0.2] threshold range is scale-free.
+	points := make([][]float64, len(recs))
+	for i, rec := range recs {
+		row := make([]float64, trace.NumFeatures)
+		for j, v := range rec.Features {
+			if j == 10 {
+				row[j] = v
+			} else {
+				row[j] = math.Log1p(v)
+			}
+		}
+		points[i] = row
+	}
+	standardize(points)
+	maxDist := maxPairwiseDistance(points)
+	if maxDist == 0 {
+		maxDist = 1
+	}
+
+	var total int64
+	for _, rec := range recs {
+		total += rec.Cycles
+	}
+
+	// Build the dendrogram once, then sweep cut thresholds from coarsest
+	// (fewest groups) to finest, keeping the first that meets the target
+	// — the same "most reduction at acceptable error" criterion PKS
+	// applies.
+	dendro, err := cluster.BuildDendrogram(points)
+	if err != nil {
+		return nil, err
+	}
+	sel := &Selection{Workload: w.FullName(), BlockFraction: o.BlockFraction}
+	bestErr := math.Inf(1)
+	var bestAssign []int
+	var bestK int
+	for i := 0; i < o.NumThresholds; i++ {
+		frac := o.MaxThreshold - float64(i)*(o.MaxThreshold-o.MinThreshold)/float64(o.NumThresholds-1)
+		assign, k := dendro.Cut(frac * maxDist)
+		errPct := projectionError(assign, k, recs, total)
+		sel.SweepErrors = append(sel.SweepErrors, errPct)
+		if errPct < bestErr {
+			bestErr = errPct
+			bestAssign, bestK = assign, k
+			sel.Threshold = frac
+		}
+		if errPct <= o.TargetErrorPct {
+			bestAssign, bestK, bestErr = assign, k, errPct
+			sel.Threshold = frac
+			break
+		}
+	}
+
+	sel.K = bestK
+	sel.SelectionErrorPct = bestErr
+	sel.Groups = buildGroups(bestAssign, bestK, recs)
+	return sel, nil
+}
+
+func projectionError(assign []int, k int, recs []profiler.DetailedRecord, total int64) float64 {
+	groups := buildGroups(assign, k, recs)
+	var projected int64
+	for _, g := range groups {
+		projected += g.RepCycles * int64(g.Count)
+	}
+	return stats.AbsPctErr(float64(projected), float64(total))
+}
+
+func buildGroups(assign []int, k int, recs []profiler.DetailedRecord) []Group {
+	groups := make([]Group, k)
+	for i := range groups {
+		groups[i].RepIndex = -1
+	}
+	for i, c := range assign {
+		groups[c].Count++
+		if groups[c].RepIndex < 0 || recs[i].KernelID < groups[c].RepIndex {
+			groups[c].RepIndex = recs[i].KernelID
+			groups[c].RepCycles = recs[i].Cycles
+		}
+	}
+	out := groups[:0]
+	for _, g := range groups {
+		if g.Count > 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func standardize(points [][]float64) {
+	if len(points) == 0 {
+		return
+	}
+	dim := len(points[0])
+	mean := make([]float64, dim)
+	for _, p := range points {
+		for j, v := range p {
+			mean[j] += v
+		}
+	}
+	n := float64(len(points))
+	for j := range mean {
+		mean[j] /= n
+	}
+	sd := make([]float64, dim)
+	for _, p := range points {
+		for j, v := range p {
+			d := v - mean[j]
+			sd[j] += d * d
+		}
+	}
+	for j := range sd {
+		sd[j] = math.Sqrt(sd[j] / n)
+		if sd[j] == 0 {
+			sd[j] = 1
+		}
+	}
+	for _, p := range points {
+		for j := range p {
+			p[j] = (p[j] - mean[j]) / sd[j]
+		}
+	}
+}
+
+// SimResult is the outcome of simulating a TBPoint selection.
+type SimResult struct {
+	ProjCycles    int64
+	SimWarpInstrs int64
+	IPC           float64
+	DRAMUtil      float64
+}
+
+// Simulate runs each representative for BlockFraction of its thread
+// blocks, projects the remainder linearly (TBPoint's conservative
+// intra-kernel reduction), and weights by group population.
+func Simulate(dev gpu.Device, w *workload.Workload, sel *Selection, capCycles int64) (SimResult, error) {
+	if capCycles <= 0 {
+		capCycles = sim.DefaultMaxCycles
+	}
+	s := sim.New(dev)
+	var out SimResult
+	var kernelCycles int64
+	var threadInstrs, dramWeighted float64
+	for _, g := range sel.Groups {
+		k := w.Kernel(g.RepIndex)
+		target := int(math.Ceil(sel.BlockFraction * float64(k.Grid.Count())))
+		if target < 1 {
+			target = 1
+		}
+		ctl := sim.ControllerFunc(func(t *sim.Telemetry) bool {
+			return t.BlocksCompleted >= target
+		})
+		res, err := s.RunKernel(&k, sim.Options{Controller: ctl, MaxCycles: capCycles})
+		if err != nil {
+			return out, fmt.Errorf("tbpoint: rep %d: %w", g.RepIndex, err)
+		}
+		proj := pkp.Project(res)
+		weight := int64(g.Count)
+		kernelCycles += proj.Cycles * weight
+		out.SimWarpInstrs += proj.SimulatedWarpInstrs
+		threadInstrs += proj.ThreadInstrs * float64(weight)
+		dramWeighted += proj.DRAMUtil * float64(proj.Cycles*weight)
+	}
+	out.ProjCycles = kernelCycles + int64(w.N)*silicon.KernelLaunchOverheadCycles
+	if kernelCycles > 0 {
+		out.IPC = threadInstrs / float64(kernelCycles)
+		out.DRAMUtil = dramWeighted / float64(kernelCycles)
+	}
+	return out, nil
+}
+
+// maxPairwiseDistance samples pairwise distances (capped at ~1e6 pairs)
+// and returns the maximum observed.
+func maxPairwiseDistance(points [][]float64) float64 {
+	n := len(points)
+	stride := 1
+	for n/stride > 1000 {
+		stride++
+	}
+	var maxD float64
+	for i := 0; i < n; i += stride {
+		for j := i + stride; j < n; j += stride {
+			var d float64
+			for k := range points[i] {
+				diff := points[i][k] - points[j][k]
+				d += diff * diff
+			}
+			if d > maxD {
+				maxD = d
+			}
+		}
+	}
+	return math.Sqrt(maxD)
+}

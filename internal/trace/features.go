@@ -1,0 +1,49 @@
+package trace
+
+import "pka/internal/gpu"
+
+// NumFeatures is the length of the Table-2 feature vector.
+const NumFeatures = 12
+
+// FeatureNames lists the microarchitecture-agnostic metrics of the paper's
+// Table 2, in vector order, with their Nsight Compute counterparts.
+var FeatureNames = [NumFeatures]string{
+	"coalesced_global_loads",  // l1tex__t_sectors_pipe_lsu_mem_global_op_ld.sum
+	"coalesced_global_stores", // l1tex__t_sectors_pipe_lsu_mem_global_op_st.sum
+	"coalesced_local_loads",   // l1tex__t_sectors_pipe_lsu_mem_local_op_ld.sum
+	"thread_global_loads",     // smsp__inst_executed_op_global_ld.sum
+	"thread_global_stores",    // smsp__inst_executed_op_global_st.sum
+	"thread_local_loads",      // smsp__inst_executed_op_local_ld.sum
+	"thread_shared_loads",     // smsp__inst_executed_op_shared_ld.sum
+	"thread_shared_stores",    // smsp__inst_executed_op_shared_st.sum
+	"thread_global_atomics",   // smsp__sass_inst_executed_op_global_atom.sum
+	"instructions",            // smsp__inst_executed.sum
+	"divergence_efficiency",   // smsp__thread_inst_executed_per_inst_executed.ratio
+	"thread_blocks",           // launch_grid_size
+}
+
+// FeatureVector computes the kernel's Table-2 metric vector as it would be
+// reported by detailed profiling on the given device. Counts scale with the
+// generation's ISA representation, reproducing the paper's caveat that
+// instruction makeup varies slightly across machine ISAs; the divergence
+// ratio and grid size are ISA-independent.
+func (k *KernelDesc) FeatureVector(dev gpu.Device) []float64 {
+	warps := float64(k.Grid.Count()) * float64(k.WarpsPerBlock())
+	threads := float64(k.Threads()) * k.DivergenceEff // executed thread-instruction scale
+	isa := dev.ISAScale
+
+	f := make([]float64, NumFeatures)
+	f[0] = warps * float64(k.Mix.GlobalLoads) * k.CoalescingFactor * isa
+	f[1] = warps * float64(k.Mix.GlobalStores) * k.CoalescingFactor * isa
+	f[2] = warps * float64(k.Mix.LocalLoads) * k.CoalescingFactor * isa
+	f[3] = threads * float64(k.Mix.GlobalLoads) * isa
+	f[4] = threads * float64(k.Mix.GlobalStores) * isa
+	f[5] = threads * float64(k.Mix.LocalLoads) * isa
+	f[6] = threads * float64(k.Mix.SharedLoads) * isa
+	f[7] = threads * float64(k.Mix.SharedStores) * isa
+	f[8] = threads * float64(k.Mix.GlobalAtomics) * isa
+	f[9] = warps * float64(k.Mix.Total()) * isa
+	f[10] = k.DivergenceEff * float64(dev.WarpSize)
+	f[11] = float64(k.Grid.Count())
+	return f
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"pka/internal/trace"
+)
+
+// JSON workload descriptions let downstream users run the PKA pipeline on
+// their own applications without writing Go: a document lists kernel
+// launches (optionally repeated), in launch order.
+//
+//	{
+//	  "suite": "mine", "name": "pipeline",
+//	  "kernels": [
+//	    {"name": "map",    "grid": [640,1,1], "block": [256,1,1],
+//	     "mix": {"compute": 150, "global_loads": 4, "global_stores": 1},
+//	     "coalescing_factor": 4, "working_set_bytes": 8388608,
+//	     "strided_fraction": 0.95, "divergence_eff": 1.0, "repeat": 40},
+//	    {"name": "reduce", "grid": [512,1,1], "block": [256,1,1],
+//	     "mix": {"compute": 12, "global_loads": 24},
+//	     "coalescing_factor": 4, "working_set_bytes": 536870912,
+//	     "strided_fraction": 0.4, "divergence_eff": 1.0, "repeat": 20}
+//	  ]
+//	}
+
+// KernelJSON is one launch entry of a workload document.
+type KernelJSON struct {
+	Name  string `json:"name"`
+	Grid  [3]int `json:"grid"`
+	Block [3]int `json:"block"`
+
+	Mix struct {
+		GlobalLoads   int `json:"global_loads"`
+		GlobalStores  int `json:"global_stores"`
+		LocalLoads    int `json:"local_loads"`
+		SharedLoads   int `json:"shared_loads"`
+		SharedStores  int `json:"shared_stores"`
+		GlobalAtomics int `json:"global_atomics"`
+		Compute       int `json:"compute"`
+		TensorOps     int `json:"tensor_ops"`
+	} `json:"mix"`
+
+	RegsPerThread     int     `json:"regs_per_thread"`
+	SharedMemPerBlock int     `json:"shared_mem_per_block"`
+	CoalescingFactor  float64 `json:"coalescing_factor"`
+	WorkingSetBytes   int64   `json:"working_set_bytes"`
+	StridedFraction   float64 `json:"strided_fraction"`
+	DivergenceEff     float64 `json:"divergence_eff"`
+	BlockImbalance    float64 `json:"block_imbalance"`
+
+	// Repeat launches this kernel N consecutive times (default 1). Each
+	// instance gets a distinct deterministic seed.
+	Repeat int `json:"repeat"`
+}
+
+// WorkloadJSON is the document root.
+type WorkloadJSON struct {
+	Suite   string       `json:"suite"`
+	Name    string       `json:"name"`
+	Kernels []KernelJSON `json:"kernels"`
+}
+
+// FromJSON parses a workload document and validates every kernel.
+func FromJSON(r io.Reader) (*Workload, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc WorkloadJSON
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("workload: parsing JSON: %w", err)
+	}
+	if doc.Name == "" {
+		return nil, fmt.Errorf("workload: document needs a name")
+	}
+	if doc.Suite == "" {
+		doc.Suite = "user"
+	}
+	if len(doc.Kernels) == 0 {
+		return nil, fmt.Errorf("workload: document has no kernels")
+	}
+
+	var seq []trace.KernelDesc
+	for i, kj := range doc.Kernels {
+		k, err := kj.toKernel(doc.Name, i)
+		if err != nil {
+			return nil, err
+		}
+		repeat := kj.Repeat
+		if repeat <= 0 {
+			repeat = 1
+		}
+		for r := 0; r < repeat; r++ {
+			inst := k
+			inst.Seed = seedOf(doc.Name+k.Name, uint64(i)<<20|uint64(r))
+			seq = append(seq, inst)
+		}
+	}
+	w := fixedSeq(doc.Suite, doc.Name, seq)
+	if err := w.Validate(0); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// LoadJSON reads a workload document from disk.
+func LoadJSON(path string) (*Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return FromJSON(f)
+}
+
+func (kj *KernelJSON) toKernel(doc string, idx int) (trace.KernelDesc, error) {
+	if kj.Name == "" {
+		return trace.KernelDesc{}, fmt.Errorf("workload: kernel %d of %q has no name", idx, doc)
+	}
+	k := trace.KernelDesc{
+		Name:              kj.Name,
+		Grid:              trace.Dim3{X: kj.Grid[0], Y: kj.Grid[1], Z: kj.Grid[2]},
+		Block:             trace.Dim3{X: kj.Block[0], Y: kj.Block[1], Z: kj.Block[2]},
+		RegsPerThread:     kj.RegsPerThread,
+		SharedMemPerBlock: kj.SharedMemPerBlock,
+		Mix: trace.InstrMix{
+			GlobalLoads:   kj.Mix.GlobalLoads,
+			GlobalStores:  kj.Mix.GlobalStores,
+			LocalLoads:    kj.Mix.LocalLoads,
+			SharedLoads:   kj.Mix.SharedLoads,
+			SharedStores:  kj.Mix.SharedStores,
+			GlobalAtomics: kj.Mix.GlobalAtomics,
+			Compute:       kj.Mix.Compute,
+			TensorOps:     kj.Mix.TensorOps,
+		},
+		CoalescingFactor: kj.CoalescingFactor,
+		WorkingSetBytes:  kj.WorkingSetBytes,
+		StridedFraction:  kj.StridedFraction,
+		BlockImbalance:   kj.BlockImbalance,
+		DivergenceEff:    kj.DivergenceEff,
+	}
+	// Friendly defaults for under-specified documents.
+	if k.Block == (trace.Dim3{}) {
+		k.Block = trace.D1(256)
+	}
+	if k.Grid.Y == 0 {
+		k.Grid.Y = 1
+	}
+	if k.Grid.Z == 0 {
+		k.Grid.Z = 1
+	}
+	if k.Block.Y == 0 {
+		k.Block.Y = 1
+	}
+	if k.Block.Z == 0 {
+		k.Block.Z = 1
+	}
+	if k.CoalescingFactor == 0 {
+		k.CoalescingFactor = 4
+	}
+	if k.DivergenceEff == 0 {
+		k.DivergenceEff = 1
+	}
+	if k.WorkingSetBytes == 0 {
+		k.WorkingSetBytes = 1 << 20
+	}
+	if err := k.Validate(); err != nil {
+		return trace.KernelDesc{}, fmt.Errorf("workload: kernel %d of %q: %w", idx, doc, err)
+	}
+	return k, nil
+}

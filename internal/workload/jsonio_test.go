@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pka/internal/trace"
+)
+
+const validDoc = `{
+  "suite": "mine", "name": "pipeline",
+  "kernels": [
+    {"name": "map", "grid": [640,1,1], "block": [256,1,1],
+     "mix": {"compute": 150, "global_loads": 4, "global_stores": 1},
+     "coalescing_factor": 4, "working_set_bytes": 8388608,
+     "strided_fraction": 0.95, "divergence_eff": 1.0, "repeat": 40},
+    {"name": "reduce", "grid": [512,1,1],
+     "mix": {"compute": 12, "global_loads": 24},
+     "working_set_bytes": 536870912, "strided_fraction": 0.4, "repeat": 20}
+  ]
+}`
+
+func TestFromJSONValid(t *testing.T) {
+	w, err := FromJSON(strings.NewReader(validDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.FullName() != "mine/pipeline" || w.N != 60 {
+		t.Fatalf("workload = %s with %d kernels", w.FullName(), w.N)
+	}
+	k0 := w.Kernel(0)
+	if k0.Name != "map" || k0.Grid.Count() != 640 {
+		t.Errorf("kernel 0 = %+v", k0)
+	}
+	// Defaults applied to the under-specified second entry.
+	k40 := w.Kernel(40)
+	if k40.Name != "reduce" || k40.Block.Count() != 256 || k40.DivergenceEff != 1 || k40.CoalescingFactor != 4 {
+		t.Errorf("defaults not applied: %+v", k40)
+	}
+	// Repeated instances differ in seed but share shape.
+	if w.Kernel(0).Seed == w.Kernel(1).Seed {
+		t.Error("repeated instances share a seed")
+	}
+	if w.Kernel(0).Grid != w.Kernel(1).Grid {
+		t.Error("repeated instances differ in shape")
+	}
+}
+
+func TestFromJSONRejections(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `nope`,
+		"no name":       `{"kernels":[{"name":"k","grid":[1,1,1],"mix":{"compute":1}}]}`,
+		"no kernels":    `{"name":"x","kernels":[]}`,
+		"unnamed":       `{"name":"x","kernels":[{"grid":[1,1,1],"mix":{"compute":1}}]}`,
+		"unknown field": `{"name":"x","bogus":1,"kernels":[{"name":"k","grid":[1,1,1],"mix":{"compute":1}}]}`,
+		"no instrs":     `{"name":"x","kernels":[{"name":"k","grid":[1,1,1]}]}`,
+		"huge block":    `{"name":"x","kernels":[{"name":"k","grid":[1,1,1],"block":[2048,1,1],"mix":{"compute":1}}]}`,
+		"bad strided":   `{"name":"x","kernels":[{"name":"k","grid":[1,1,1],"strided_fraction":2,"mix":{"compute":1}}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := FromJSON(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.json")
+	if err := writeFile(path, validDoc); err != nil {
+		t.Fatal(err)
+	}
+	w, err := LoadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.N != 60 {
+		t.Errorf("N = %d", w.N)
+	}
+	if _, err := LoadJSON(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+func TestFromJSONDefaultSuite(t *testing.T) {
+	doc := `{"name":"solo","kernels":[{"name":"k","grid":[8,1,1],"mix":{"compute":10}}]}`
+	w, err := FromJSON(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Suite != "user" {
+		t.Errorf("suite = %q, want user", w.Suite)
+	}
+	k := w.Kernel(0)
+	if err := k.Validate(); err != nil {
+		t.Error(err)
+	}
+	var _ trace.KernelDesc = k
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

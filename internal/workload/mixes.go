@@ -1,0 +1,283 @@
+package workload
+
+import "pka/internal/trace"
+
+// Kernel archetype constructors. Each returns a KernelDesc whose mix,
+// coalescing, divergence, and locality match a family of real GPU kernels;
+// the suite files compose them into launch sequences. Seeds are derived
+// from the name and launch parameters so every kernel's synthetic address
+// stream is unique but reproducible.
+
+func seedOf(name string, salt uint64) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 1099511628211
+	}
+	return h ^ (salt+1)*0x9E3779B97F4A7C15
+}
+
+// gemmKernel models a tiled dense matrix multiply C = A×B with shared-
+// memory staging. Compute bound, perfectly coalesced, moderate footprint.
+func gemmKernel(name string, m, n, k int, tensor bool) trace.KernelDesc {
+	const tile = 32
+	gridX := (n + tile - 1) / tile
+	gridY := (m + tile - 1) / tile
+	iters := (k + tile - 1) / tile
+	mix := trace.InstrMix{
+		GlobalLoads:  2 * iters,
+		GlobalStores: 1,
+		SharedLoads:  2 * tile * iters / 8,
+		SharedStores: 2 * iters,
+		Compute:      2 * tile * iters / 2,
+	}
+	if tensor {
+		// Tensor-core path: MMA ops replace most scalar FMAs.
+		mix.Compute = tile * iters / 4
+		mix.TensorOps = iters
+	}
+	return trace.KernelDesc{
+		Name:              name,
+		Grid:              trace.D2(gridX, gridY),
+		Block:             trace.D1(256),
+		RegsPerThread:     96,
+		SharedMemPerBlock: 2 * tile * tile * 4 * 2,
+		Mix:               mix,
+		CoalescingFactor:  4,
+		WorkingSetBytes:   int64(m*k+k*n+m*n) * 4,
+		StridedFraction:   0.95,
+		DivergenceEff:     1.0,
+		Seed:              seedOf(name, uint64(m*31+n*7+k)),
+	}
+}
+
+// elementwiseKernel models a streaming map over n elements (axpy, relu,
+// batch-norm apply, tensor add): bandwidth bound and perfectly regular.
+func elementwiseKernel(name string, n int, opsPerElem int) trace.KernelDesc {
+	blocks := (n + 255) / 256
+	if blocks < 1 {
+		blocks = 1
+	}
+	return trace.KernelDesc{
+		Name:             name,
+		Grid:             trace.D1(blocks),
+		Block:            trace.D1(256),
+		RegsPerThread:    24,
+		Mix:              trace.InstrMix{GlobalLoads: 2, GlobalStores: 1, Compute: opsPerElem},
+		CoalescingFactor: 4,
+		WorkingSetBytes:  int64(n) * 12,
+		StridedFraction:  1.0,
+		DivergenceEff:    1.0,
+		Seed:             seedOf(name, uint64(n)),
+	}
+}
+
+// stencilKernel models a 2D/3D structured-grid sweep (hotspot, srad, fdtd):
+// neighbour loads with high spatial locality, moderate compute.
+func stencilKernel(name string, nx, ny, points int) trace.KernelDesc {
+	gridX := (nx + 15) / 16
+	gridY := (ny + 15) / 16
+	if gridX < 1 {
+		gridX = 1
+	}
+	if gridY < 1 {
+		gridY = 1
+	}
+	return trace.KernelDesc{
+		Name:              name,
+		Grid:              trace.D2(gridX, gridY),
+		Block:             trace.D2(16, 16),
+		RegsPerThread:     40,
+		SharedMemPerBlock: 18 * 18 * 4,
+		Mix: trace.InstrMix{
+			GlobalLoads: points, GlobalStores: 1,
+			SharedLoads: points, SharedStores: 1,
+			Compute: 4 * points,
+		},
+		CoalescingFactor: 5,
+		WorkingSetBytes:  int64(nx) * int64(ny) * 8,
+		StridedFraction:  0.9,
+		DivergenceEff:    0.97,
+		Seed:             seedOf(name, uint64(nx*ny+points)),
+	}
+}
+
+// graphKernel models one frontier expansion of an irregular graph
+// traversal: scattered gathers, heavy divergence, per-block imbalance.
+func graphKernel(name string, frontier, graphBytes int, imbalance float64) trace.KernelDesc {
+	blocks := (frontier + 255) / 256
+	if blocks < 1 {
+		blocks = 1
+	}
+	return trace.KernelDesc{
+		Name:          name,
+		Grid:          trace.D1(blocks),
+		Block:         trace.D1(256),
+		RegsPerThread: 32,
+		Mix: trace.InstrMix{
+			GlobalLoads: 8, GlobalStores: 2, GlobalAtomics: 1,
+			Compute: 12,
+		},
+		CoalescingFactor: 16,
+		WorkingSetBytes:  int64(graphBytes),
+		StridedFraction:  0.15,
+		DivergenceEff:    0.45,
+		BlockImbalance:   imbalance,
+		Seed:             seedOf(name, uint64(frontier)),
+	}
+}
+
+// reductionKernel models a tree reduction over n elements.
+func reductionKernel(name string, n int) trace.KernelDesc {
+	blocks := (n + 511) / 512
+	if blocks < 1 {
+		blocks = 1
+	}
+	return trace.KernelDesc{
+		Name:              name,
+		Grid:              trace.D1(blocks),
+		Block:             trace.D1(512),
+		RegsPerThread:     20,
+		SharedMemPerBlock: 512 * 4,
+		Mix: trace.InstrMix{
+			GlobalLoads: 1, GlobalStores: 1,
+			SharedLoads: 9, SharedStores: 9,
+			Compute: 14,
+		},
+		CoalescingFactor: 4,
+		WorkingSetBytes:  int64(n) * 4,
+		StridedFraction:  1.0,
+		DivergenceEff:    0.8,
+		Seed:             seedOf(name, uint64(n)),
+	}
+}
+
+// convKernel models an implicit-GEMM convolution layer over an
+// N×C×H×W input with K output channels and r×r filters.
+func convKernel(name string, batch, c, h, w, k, r int, tensor bool) trace.KernelDesc {
+	outPixels := batch * h * w
+	blocks := (outPixels*k + 4095) / 4096
+	if blocks < 1 {
+		blocks = 1
+	}
+	iters := c * r * r / 4
+	if iters < 4 {
+		iters = 4
+	}
+	mix := trace.InstrMix{
+		GlobalLoads:  iters / 2,
+		GlobalStores: 1,
+		SharedLoads:  iters,
+		SharedStores: iters / 4,
+		Compute:      3 * iters,
+	}
+	if tensor {
+		mix.Compute = iters / 2
+		mix.TensorOps = iters / 4
+		if mix.TensorOps < 1 {
+			mix.TensorOps = 1
+		}
+	}
+	return trace.KernelDesc{
+		Name:              name,
+		Grid:              trace.D1(blocks),
+		Block:             trace.D1(256),
+		RegsPerThread:     128,
+		SharedMemPerBlock: 24 * 1024,
+		Mix:               mix,
+		CoalescingFactor:  4,
+		WorkingSetBytes:   int64(batch*c*h*w+k*c*r*r+batch*k*h*w) * 4,
+		StridedFraction:   0.92,
+		DivergenceEff:     1.0,
+		Seed:              seedOf(name, uint64(batch*c+h*w+k*r)),
+	}
+}
+
+// spmvKernel models sparse matrix-vector multiply: scattered vector
+// gathers with row-length imbalance.
+func spmvKernel(name string, rows, nnz int) trace.KernelDesc {
+	blocks := (rows + 127) / 128
+	if blocks < 1 {
+		blocks = 1
+	}
+	avgRow := nnz / rows
+	if avgRow < 1 {
+		avgRow = 1
+	}
+	return trace.KernelDesc{
+		Name:          name,
+		Grid:          trace.D1(blocks),
+		Block:         trace.D1(128),
+		RegsPerThread: 28,
+		Mix: trace.InstrMix{
+			GlobalLoads: 2*avgRow + 1, GlobalStores: 1,
+			Compute: 2 * avgRow,
+		},
+		CoalescingFactor: 12,
+		WorkingSetBytes:  int64(nnz)*8 + int64(rows)*4,
+		StridedFraction:  0.35,
+		DivergenceEff:    0.6,
+		BlockImbalance:   0.8,
+		Seed:             seedOf(name, uint64(nnz)),
+	}
+}
+
+// matvecKernel models dense matrix-vector products (atax, bicg, mvt,
+// gesummv): streaming row reads, bandwidth bound.
+func matvecKernel(name string, n int) trace.KernelDesc {
+	blocks := (n + 255) / 256
+	if blocks < 1 {
+		blocks = 1
+	}
+	loads := n / 64
+	if loads < 4 {
+		loads = 4
+	}
+	if loads > 400 {
+		loads = 400
+	}
+	return trace.KernelDesc{
+		Name:             name,
+		Grid:             trace.D1(blocks),
+		Block:            trace.D1(256),
+		RegsPerThread:    32,
+		Mix:              trace.InstrMix{GlobalLoads: loads, GlobalStores: 1, Compute: 2 * loads},
+		CoalescingFactor: 4,
+		WorkingSetBytes:  int64(n) * int64(n) * 4,
+		StridedFraction:  0.98,
+		DivergenceEff:    1.0,
+		Seed:             seedOf(name, uint64(n)),
+	}
+}
+
+// rnnCellKernel models one recurrent-cell step: a medium GEMM plus
+// elementwise gate math, launched thousands of times across timesteps.
+func rnnCellKernel(name string, hidden, batch int, tensor bool) trace.KernelDesc {
+	k := gemmKernel(name, batch, hidden, hidden, tensor)
+	k.Mix.Compute += 24 // gate activations
+	k.Seed = seedOf(name, uint64(hidden*batch))
+	return k
+}
+
+// histogramKernel models atomic-heavy binning.
+func histogramKernel(name string, n, bins int) trace.KernelDesc {
+	blocks := (n + 511) / 512
+	if blocks < 1 {
+		blocks = 1
+	}
+	return trace.KernelDesc{
+		Name:              name,
+		Grid:              trace.D1(blocks),
+		Block:             trace.D1(512),
+		RegsPerThread:     18,
+		SharedMemPerBlock: bins * 4,
+		Mix: trace.InstrMix{
+			GlobalLoads: 2, GlobalAtomics: 2, SharedLoads: 2, SharedStores: 2,
+			Compute: 8,
+		},
+		CoalescingFactor: 6,
+		WorkingSetBytes:  int64(n)*4 + int64(bins)*4,
+		StridedFraction:  0.7,
+		DivergenceEff:    0.85,
+		Seed:             seedOf(name, uint64(n+bins)),
+	}
+}
