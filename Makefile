@@ -1,0 +1,31 @@
+# Standard entry points; CI (.github/workflows/ci.yml) runs vet+build+test+race.
+
+GO ?= go
+
+.PHONY: all vet build test race bench ci
+
+all: build
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the concurrency layer. internal/parallel is fast enough to
+# race in full; the experiments and workload suites run with -short so the
+# concurrency regression tests (singleflight, 64-goroutine stress, fuzz
+# seed corpus) execute under the detector without paying for the full
+# artifact pipeline at ~10x race overhead. `make test` covers the heavy
+# paths (including the parallel-vs-serial determinism golden) natively.
+race:
+	$(GO) test -race ./internal/parallel/...
+	$(GO) test -race -short ./internal/experiments/... ./internal/workload/...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x .
+
+ci: vet build test race

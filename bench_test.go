@@ -8,9 +8,11 @@
 //
 //	go test -bench=. -benchmem
 //
-// run therefore costs roughly one complete 147-workload study on a single
-// core (tens of minutes). Individual artifacts can be regenerated with
-// -bench=BenchmarkTable4 etc., or via cmd/pkaexp.
+// run therefore costs roughly one complete 147-workload study, with
+// per-workload artifacts fanned across GOMAXPROCS workers (tens of
+// minutes on one core, less with more). Individual artifacts can be
+// regenerated with -bench=BenchmarkTable4 etc., or via cmd/pkaexp;
+// BenchmarkStudyParallel isolates the fan-out speedup itself.
 package pka
 
 import (
@@ -19,6 +21,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"pka/internal/cluster"
 	"pka/internal/experiments"
@@ -249,6 +252,53 @@ func BenchmarkAblationClusteringScale(b *testing.B) {
 
 func BenchmarkAblationClassifier(b *testing.B) {
 	benchAblation(b, "ablation-classifier", experiments.AblationClassifier)
+}
+
+// BenchmarkStudyParallel measures the study engine's fan-out: the same
+// multi-workload Figure-6 sweep generated serially (Parallelism=1) and
+// with four workers, each on a fresh unmemoized Study. The speedup
+// sub-bench reports serial-time / parallel-time per iteration; on a
+// single-core machine it sits near 1x, approaching 4x with four cores
+// (the sweep is embarrassingly parallel across workloads).
+func BenchmarkStudyParallel(b *testing.B) {
+	var ws []*workload.Workload
+	for _, n := range []string{
+		"Rodinia/gauss_208", "Rodinia/bfs65536", "Rodinia/hots_512",
+		"Parboil/histo", "Polybench/fdtd2d", "Cutlass/128x128x512_sgemm",
+	} {
+		w := workload.Find(n)
+		if w == nil {
+			b.Fatalf("missing workload %s", n)
+		}
+		ws = append(ws, w)
+	}
+	sweep := func(p int) time.Duration {
+		s := experiments.New()
+		s.Cfg.Parallelism = p
+		s.SetWorkloads(ws)
+		t0 := time.Now()
+		if _, _, err := experiments.Figure6(s); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	b.Run("p=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweep(1)
+		}
+	})
+	b.Run("p=4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweep(4)
+		}
+	})
+	b.Run("speedup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			serial := sweep(1)
+			par := sweep(4)
+			b.ReportMetric(serial.Seconds()/par.Seconds(), "x")
+		}
+	})
 }
 
 // --- Substrate microbenchmarks ---

@@ -37,6 +37,7 @@ func main() {
 		maxK    = flag.Int("maxk", 20, "K-Means sweep bound")
 		jsonOut = flag.String("json", "", "write the selection (groups, representatives, weights) to this JSON file")
 		wfile   = flag.String("workload-file", "", "analyze a user-defined workload from a JSON document instead of -w")
+		par     = flag.Int("p", 0, "parallelism: concurrent pipeline stages (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -91,9 +92,10 @@ func main() {
 	}
 
 	cfg := core.Config{
-		Device: dev,
-		PKS:    pks.Options{TargetErrorPct: *target, MaxK: *maxK},
-		PKP:    pkp.Options{Threshold: *sThresh, Window: *window},
+		Device:      dev,
+		PKS:         pks.Options{TargetErrorPct: *target, MaxK: *maxK},
+		PKP:         pkp.Options{Threshold: *sThresh, Window: *window},
+		Parallelism: *par,
 	}
 
 	fmt.Printf("workload   %s (%d kernels) on %s\n", w.FullName(), w.N, dev.Name)

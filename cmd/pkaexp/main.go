@@ -9,8 +9,9 @@
 //	pkaexp -exp table4 -suite Rodinia     # restrict to one suite
 //
 // Generating everything sweeps all 147 workloads through profiling,
-// selection, and (where feasible) full simulation on a single core; expect
-// tens of minutes for "-exp all".
+// selection, and (where feasible) full simulation. Per-workload artifacts
+// fan out across GOMAXPROCS workers by default (tune with -p; -p 1 forces
+// the old serial behaviour); output is byte-identical at every setting.
 package main
 
 import (
@@ -128,6 +129,7 @@ func main() {
 		outPath  = flag.String("out", "", "write results to this file instead of stdout")
 		suite    = flag.String("suite", "", "restrict the study to one suite (Rodinia, Parboil, ...)")
 		workname = flag.String("workloads", "", "comma-separated full workload names to restrict to")
+		par      = flag.Int("p", 0, "parallelism: concurrent per-workload artifact computations (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -154,6 +156,7 @@ func main() {
 	}
 
 	s := experiments.New()
+	s.Cfg.Parallelism = *par
 	if *suite != "" {
 		ws := workload.BySuite(*suite)
 		if ws == nil {

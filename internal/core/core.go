@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"pka/internal/gpu"
+	"pka/internal/parallel"
 	"pka/internal/pkp"
 	"pka/internal/pks"
 	"pka/internal/sampling"
@@ -43,6 +44,14 @@ type Config struct {
 	// capped kernels are linearly extrapolated and flagged. Zero applies
 	// sim.DefaultMaxCycles.
 	KernelCapCycles int64
+	// Parallelism bounds how many independent pipeline stages or
+	// per-workload artifacts run concurrently (Evaluate's stages here,
+	// the experiment generators' per-workload fan-out in
+	// internal/experiments). Zero means GOMAXPROCS; 1 forces serial
+	// execution. Results are identical at every setting: each unit of
+	// work is self-contained and deterministic, parallelism only changes
+	// wall-clock time.
+	Parallelism int
 }
 
 // SimHours converts simulated work into projected simulation wall-clock
@@ -149,45 +158,63 @@ func RunSampled(cfg Config, w *workload.Workload, sel *pks.Selection, usePKP boo
 
 // Evaluate runs the complete pipeline for one workload: silicon ground
 // truth, PKS, full simulation when feasible, and the sampled PKS/PKA
-// simulations with error and speedup accounting.
+// simulations with error and speedup accounting. Independent stages run
+// concurrently up to cfg.Parallelism; every stage is self-contained, so
+// the result is identical at any parallelism level.
 func Evaluate(cfg Config, w *workload.Workload) (*Evaluation, error) {
 	if w == nil {
 		return nil, errors.New("core: nil workload")
 	}
 	ev := &Evaluation{Workload: w}
 
-	sil, err := sampling.SiliconTotal(cfg.Device, w)
-	if err != nil {
-		return nil, err
+	// Stage 1: silicon walk, selection, and full simulation share no
+	// state and fan out together.
+	var (
+		silErr, selErr, fullErr error
+		sil                     silicon.AppResult
+		sel                     *pks.Selection
+		full                    *sampling.Result
+	)
+	pool := parallel.NewPool(cfg.Parallelism)
+	pool.Go(func() error { sil, silErr = sampling.SiliconTotal(cfg.Device, w); return nil })
+	pool.Go(func() error { sel, selErr = pks.Select(cfg.Device, w, cfg.PKS); return nil })
+	pool.Go(func() error { full, fullErr = sampling.FullSim(cfg.Device, w, cfg.FullSimBudget); return nil })
+	if err := pool.Wait(); err != nil {
+		return nil, err // a stage panicked
+	}
+	if silErr != nil {
+		return nil, silErr
 	}
 	ev.Silicon = sil
-
-	sel, err := pks.Select(cfg.Device, w, cfg.PKS)
-	if err != nil {
-		return nil, err
+	if selErr != nil {
+		return nil, selErr
 	}
 	ev.Selection = sel
-
-	full, err := sampling.FullSim(cfg.Device, w, cfg.FullSimBudget)
 	switch {
-	case err == nil:
+	case fullErr == nil:
 		ev.Full = full
 		ev.FullErrorPct = stats.AbsPctErr(float64(full.ProjCycles), float64(sil.Cycles))
 		ev.FullSimHours = cfg.SimHours(full.SimWarpInstrs)
-	case errors.Is(err, sampling.ErrInfeasible):
+	case errors.Is(fullErr, sampling.ErrInfeasible):
 		// Projected time only; no error column (the paper's MLPerf rows).
 		ev.FullSimHours = cfg.SimHours(totalWarpWork(cfg.Device, w))
 	default:
-		return nil, err
+		return nil, fullErr
 	}
 
-	ev.PKS, err = RunSampled(cfg, w, sel, false)
-	if err != nil {
+	// Stage 2: the PKS and PKA sampled runs both need the selection but
+	// not each other.
+	var pksErr, pkaErr error
+	pool.Go(func() error { ev.PKS, pksErr = RunSampled(cfg, w, sel, false); return nil })
+	pool.Go(func() error { ev.PKA, pkaErr = RunSampled(cfg, w, sel, true); return nil })
+	if err := pool.Wait(); err != nil {
 		return nil, err
 	}
-	ev.PKA, err = RunSampled(cfg, w, sel, true)
-	if err != nil {
-		return nil, err
+	if pksErr != nil {
+		return nil, pksErr
+	}
+	if pkaErr != nil {
+		return nil, pkaErr
 	}
 	ev.PKS.ErrorPct = stats.AbsPctErr(float64(ev.PKS.ProjCycles), float64(sil.Cycles))
 	ev.PKA.ErrorPct = stats.AbsPctErr(float64(ev.PKA.ProjCycles), float64(sil.Cycles))

@@ -6,6 +6,7 @@ import (
 
 	"pka/internal/classify"
 	"pka/internal/cluster"
+	"pka/internal/parallel"
 	"pka/internal/pkp"
 	"pka/internal/pks"
 	"pka/internal/profiler"
@@ -35,6 +36,21 @@ func ablationSet() []*workload.Workload {
 	return out
 }
 
+// addRows fans fn out over the ablation workload set and appends the
+// resulting rows to tab in workload order, keeping the rendered table
+// independent of the study's parallelism.
+func addRows(s *Study, tab *report.Table, fn func(w *workload.Workload) ([]string, error)) (*report.Table, error) {
+	rows, err := parallel.Map(s.Cfg.Parallelism, ablationSet(),
+		func(_ int, w *workload.Workload) ([]string, error) { return fn(w) })
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		tab.AddRow(row...)
+	}
+	return tab, nil
+}
+
 // AblationRepPolicy compares the three representative-selection policies
 // (paper Section 3.1: random is inconsistent; first ≈ center; first is
 // cheapest to trace).
@@ -44,7 +60,7 @@ func AblationRepPolicy(s *Study) (*report.Table, error) {
 		Columns: []string{"Workload", "first", "center", "random(seed1)", "random(seed2)"},
 	}
 	dev := s.SelectionDevice()
-	for _, w := range ablationSet() {
+	return addRows(s, tab, func(w *workload.Workload) ([]string, error) {
 		row := []string{w.FullName()}
 		for _, spec := range []struct {
 			pol  pks.RepPolicy
@@ -64,9 +80,8 @@ func AblationRepPolicy(s *Study) (*report.Table, error) {
 			}
 			row = append(row, report.F(sel.SelectionErrorPct, 2))
 		}
-		tab.AddRow(row...)
-	}
-	return tab, nil
+		return row, nil
+	})
 }
 
 // AblationPKPThreshold sweeps the stability threshold s across the
@@ -78,7 +93,7 @@ func AblationPKPThreshold(s *Study) (*report.Table, error) {
 		Title:   "Ablation: PKP stability threshold s (kernel projection error % / speedup)",
 		Columns: []string{"Workload", "s=2.5", "s=0.25", "s=0.025"},
 	}
-	for _, w := range ablationSet() {
+	return addRows(s, tab, func(w *workload.Workload) ([]string, error) {
 		sel, err := s.Selection(w)
 		if err != nil {
 			return nil, err
@@ -107,9 +122,8 @@ func AblationPKPThreshold(s *Study) (*report.Table, error) {
 			speedup := float64(full.Cycles) / float64(res.Cycles)
 			row = append(row, fmt.Sprintf("%s%% / %sx", report.F(errPct, 1), report.F(speedup, 1)))
 		}
-		tab.AddRow(row...)
-	}
-	return tab, nil
+		return row, nil
+	})
 }
 
 // AblationWaveConstraint measures PKP with and without the full-wave
@@ -120,7 +134,7 @@ func AblationWaveConstraint(s *Study) (*report.Table, error) {
 		Title:   "Ablation: PKP wave constraint (projection error % / stop cycle)",
 		Columns: []string{"Workload", "with wave", "without wave"},
 	}
-	for _, w := range ablationSet() {
+	return addRows(s, tab, func(w *workload.Workload) ([]string, error) {
 		sel, err := s.Selection(w)
 		if err != nil {
 			return nil, err
@@ -147,9 +161,8 @@ func AblationWaveConstraint(s *Study) (*report.Table, error) {
 			errPct := stats.AbsPctErr(float64(proj.Cycles), float64(full.Cycles))
 			row = append(row, fmt.Sprintf("%s%% @ %d", report.F(errPct, 1), res.Cycles))
 		}
-		tab.AddRow(row...)
-	}
-	return tab, nil
+		return row, nil
+	})
 }
 
 // AblationPCA compares selection with PCA ahead of K-Means against raw
@@ -160,7 +173,7 @@ func AblationPCA(s *Study) (*report.Table, error) {
 		Title:   "Ablation: PCA before K-Means (error % @ K)",
 		Columns: []string{"Workload", "with PCA", "without PCA"},
 	}
-	for _, w := range ablationSet() {
+	return addRows(s, tab, func(w *workload.Workload) ([]string, error) {
 		row := []string{w.FullName()}
 		for _, disable := range []bool{false, true} {
 			opts := s.Cfg.PKS
@@ -171,9 +184,8 @@ func AblationPCA(s *Study) (*report.Table, error) {
 			}
 			row = append(row, fmt.Sprintf("%s%% @ K=%d", report.F(sel.SelectionErrorPct, 2), sel.K))
 		}
-		tab.AddRow(row...)
-	}
-	return tab, nil
+		return row, nil
+	})
 }
 
 // AblationClusteringScale contrasts K-Means and hierarchical clustering

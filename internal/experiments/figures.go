@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"pka/internal/gpu"
+	"pka/internal/parallel"
 	"pka/internal/pkp"
 	"pka/internal/profiler"
 	"pka/internal/report"
@@ -23,23 +24,26 @@ func Figure1(s *Study) (*report.Chart, *report.Table, error) {
 		name                string
 		silicon, prof, simH float64 // hours
 	}
-	var rows []row
 	dev := s.SelectionDevice()
-	for _, w := range s.Workloads() {
-		var silSec, profSec float64
-		next := w.Iterator()
-		for k := next(); k != nil; k = next() {
-			r, err := silicon.ExecuteKernel(dev, k)
-			if err != nil {
-				return nil, nil, err
+	rows, err := parallel.Map(s.Cfg.Parallelism, s.Workloads(),
+		func(_ int, w *workload.Workload) (row, error) {
+			var silSec, profSec float64
+			next := w.Iterator()
+			for k := next(); k != nil; k = next() {
+				r, err := silicon.ExecuteKernel(dev, k)
+				if err != nil {
+					return row{}, err
+				}
+				silSec += r.TimeSeconds
+				profSec += r.TimeSeconds*profiler.DetailedReplayOverhead + profiler.DetailedFixedSeconds
 			}
-			silSec += r.TimeSeconds
-			profSec += r.TimeSeconds*profiler.DetailedReplayOverhead + profiler.DetailedFixedSeconds
-		}
-		simH := s.Cfg.SimHours(int64(float64(w.ApproxWarpInstructions(1<<62)) * dev.ISAScale))
-		rows = append(rows, row{w.FullName(), silSec / 3600, profSec / 3600, simH})
+			simH := s.Cfg.SimHours(int64(float64(w.ApproxWarpInstructions(1<<62)) * dev.ISAScale))
+			return row{w.FullName(), silSec / 3600, profSec / 3600, simH}, nil
+		})
+	if err != nil {
+		return nil, nil, err
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].simH < rows[j].simH })
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].simH < rows[j].simH })
 
 	chart := &report.Chart{
 		Title:  "Figure 1: time to execute, profile, and simulate 147 workloads",
@@ -125,20 +129,25 @@ func Figure5(s *Study) ([]*report.Chart, *report.Table, error) {
 		Title:   "Figure 5: PKP stopping points",
 		Columns: []string{"Workload", "s", "Stop cycle", "Full cycles", "Proj error %", "Speedup"},
 	}
-	var charts []*report.Chart
-	for _, spec := range []struct {
+	type fig5Spec struct {
 		label string
 		wname string
 		kid   int
-	}{
+	}
+	specs := []fig5Spec{
 		{"atax (regular)", "Polybench/atax", 0},
 		{"bfs (irregular)", "Rodinia/bfs65536", 8},
-	} {
+	}
+	type specOut struct {
+		chart *report.Chart
+		rows  [][]string
+	}
+	outs, err := parallel.Map(s.Cfg.Parallelism, specs, func(_ int, spec fig5Spec) (specOut, error) {
 		w := workload.Find(spec.wname)
 		k := w.Kernel(spec.kid)
 		full, err := sim.New(dev).RunKernel(&k, sim.Options{TraceEvery: 250})
 		if err != nil {
-			return nil, nil, err
+			return specOut{}, err
 		}
 		chart := &report.Chart{
 			Title:  "Figure 5: " + spec.label + " — IPC / L2 miss / DRAM util vs time",
@@ -161,21 +170,32 @@ func Figure5(s *Study) ([]*report.Chart, *report.Table, error) {
 			{Name: "L2 miss rate", Values: l2},
 			{Name: "DRAM util", Values: dr},
 		}
+		out := specOut{chart: chart}
 		for _, th := range []float64{2.5, 0.25, 0.025} {
 			p := pkp.New(pkp.Options{Threshold: th})
 			res, err := sim.New(dev).RunKernel(&k, sim.Options{Controller: p})
 			if err != nil {
-				return nil, nil, err
+				return specOut{}, err
 			}
 			proj := p.Projection(res)
 			errPct := stats.AbsPctErr(float64(proj.Cycles), float64(full.Cycles))
 			speedup := float64(full.Cycles) / float64(res.Cycles)
-			tab.AddRow(spec.label, report.F(th, 3), fmt.Sprint(res.Cycles), fmt.Sprint(full.Cycles),
-				report.F(errPct, 1), report.F(speedup, 2)+"x")
+			out.rows = append(out.rows, []string{spec.label, report.F(th, 3), fmt.Sprint(res.Cycles),
+				fmt.Sprint(full.Cycles), report.F(errPct, 1), report.F(speedup, 2) + "x"})
 			chart.Notes = append(chart.Notes,
 				fmt.Sprintf("s=%.3f stops at cycle %d (%.0f%% of kernel)", th, res.Cycles, 100*float64(res.Cycles)/float64(full.Cycles)))
 		}
-		charts = append(charts, chart)
+		return out, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var charts []*report.Chart
+	for _, out := range outs {
+		charts = append(charts, out.chart)
+		for _, row := range out.rows {
+			tab.AddRow(row...)
+		}
 	}
 	return charts, tab, nil
 }
@@ -187,20 +207,23 @@ func Figure6(s *Study) (*report.Chart, *report.Table, error) {
 	type row struct {
 		full, pks, pka float64 // projected hours
 	}
-	var rows []row
-	for _, w := range s.Workloads() {
-		full := s.Cfg.SimHours(int64(float64(w.ApproxWarpInstructions(1<<62)) * dev.ISAScale))
-		pksSim, err := s.Sampled(dev, w, false)
-		if err != nil {
-			return nil, nil, err
-		}
-		pkaSim, err := s.Sampled(dev, w, true)
-		if err != nil {
-			return nil, nil, err
-		}
-		rows = append(rows, row{full, pksSim.SimHours, pkaSim.SimHours})
+	rows, err := parallel.Map(s.Cfg.Parallelism, s.Workloads(),
+		func(_ int, w *workload.Workload) (row, error) {
+			full := s.Cfg.SimHours(int64(float64(w.ApproxWarpInstructions(1<<62)) * dev.ISAScale))
+			pksSim, err := s.Sampled(dev, w, false)
+			if err != nil {
+				return row{}, err
+			}
+			pkaSim, err := s.Sampled(dev, w, true)
+			if err != nil {
+				return row{}, err
+			}
+			return row{full, pksSim.SimHours, pkaSim.SimHours}, nil
+		})
+	if err != nil {
+		return nil, nil, err
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].full < rows[j].full })
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].full < rows[j].full })
 	var fullS, pksS, pkaS []float64
 	var worstFull, worstPKA float64
 	for _, r := range rows {
@@ -240,33 +263,49 @@ func Figure6(s *Study) (*report.Chart, *report.Table, error) {
 // complete in full simulation.
 func Figure7(s *Study) (*report.Chart, *report.Table, error) {
 	dev := s.SelectionDevice()
-	var pkaS, tbS, oneBS []float64
-	for _, w := range s.ComparableSet() {
-		full, err := s.Full(dev, w)
-		if err != nil || full == nil {
-			if err != nil {
-				return nil, nil, err
+	type speedups struct {
+		pka, tb, oneB float64
+		ok            bool
+	}
+	perW, err := parallel.Map(s.Cfg.Parallelism, s.ComparableSet(),
+		func(_ int, w *workload.Workload) (speedups, error) {
+			full, err := s.Full(dev, w)
+			if err != nil || full == nil {
+				return speedups{}, err
 			}
+			pka, err := s.Sampled(dev, w, true)
+			if err != nil {
+				return speedups{}, err
+			}
+			tb, ok, err := s.TBPointSim(w)
+			if err != nil {
+				return speedups{}, err
+			}
+			oneB, err := s.FirstN(dev, w)
+			if err != nil {
+				return speedups{}, err
+			}
+			if pka.SimWarpInstrs == 0 || oneB.SimWarpInstrs == 0 || !ok || tb.SimWarpInstrs == 0 {
+				return speedups{}, nil
+			}
+			return speedups{
+				pka:  float64(full.SimWarpInstrs) / float64(pka.SimWarpInstrs),
+				tb:   float64(full.SimWarpInstrs) / float64(tb.SimWarpInstrs),
+				oneB: float64(full.SimWarpInstrs) / float64(oneB.SimWarpInstrs),
+				ok:   true,
+			}, nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	var pkaS, tbS, oneBS []float64
+	for _, sp := range perW {
+		if !sp.ok {
 			continue
 		}
-		pka, err := s.Sampled(dev, w, true)
-		if err != nil {
-			return nil, nil, err
-		}
-		tb, ok, err := s.TBPointSim(w)
-		if err != nil {
-			return nil, nil, err
-		}
-		oneB, err := s.FirstN(dev, w)
-		if err != nil {
-			return nil, nil, err
-		}
-		if pka.SimWarpInstrs == 0 || oneB.SimWarpInstrs == 0 || !ok || tb.SimWarpInstrs == 0 {
-			continue
-		}
-		pkaS = append(pkaS, float64(full.SimWarpInstrs)/float64(pka.SimWarpInstrs))
-		tbS = append(tbS, float64(full.SimWarpInstrs)/float64(tb.SimWarpInstrs))
-		oneBS = append(oneBS, float64(full.SimWarpInstrs)/float64(oneB.SimWarpInstrs))
+		pkaS = append(pkaS, sp.pka)
+		tbS = append(tbS, sp.tb)
+		oneBS = append(oneBS, sp.oneB)
 	}
 	sort.Float64s(pkaS)
 	sort.Float64s(tbS)
@@ -296,39 +335,56 @@ func Figure7(s *Study) (*report.Chart, *report.Table, error) {
 // silicon for full simulation, 1B, PKA, and TBPoint on the same set.
 func Figure8(s *Study) (*report.Chart, *report.Table, error) {
 	dev := s.SelectionDevice()
-	var fullE, oneBE, pkaE, tbE []float64
-	for _, w := range s.ComparableSet() {
-		full, err := s.Full(dev, w)
-		if err != nil || full == nil {
-			if err != nil {
-				return nil, nil, err
+	type errRow struct {
+		full, oneB, pka, tb float64
+		ok                  bool
+	}
+	perW, err := parallel.Map(s.Cfg.Parallelism, s.ComparableSet(),
+		func(_ int, w *workload.Workload) (errRow, error) {
+			full, err := s.Full(dev, w)
+			if err != nil || full == nil {
+				return errRow{}, err
 			}
+			sil, err := s.Silicon(dev, w)
+			if err != nil {
+				return errRow{}, err
+			}
+			pka, err := s.Sampled(dev, w, true)
+			if err != nil {
+				return errRow{}, err
+			}
+			tb, ok, err := s.TBPointSim(w)
+			if err != nil {
+				return errRow{}, err
+			}
+			if !ok {
+				return errRow{}, nil
+			}
+			oneB, err := s.FirstN(dev, w)
+			if err != nil {
+				return errRow{}, err
+			}
+			ref := float64(sil.Cycles)
+			return errRow{
+				full: stats.AbsPctErr(float64(full.ProjCycles), ref),
+				oneB: stats.AbsPctErr(float64(oneB.ProjCycles), ref),
+				pka:  pka.ErrorPct,
+				tb:   stats.AbsPctErr(float64(tb.ProjCycles), ref),
+				ok:   true,
+			}, nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	var fullE, oneBE, pkaE, tbE []float64
+	for _, r := range perW {
+		if !r.ok {
 			continue
 		}
-		sil, err := s.Silicon(dev, w)
-		if err != nil {
-			return nil, nil, err
-		}
-		pka, err := s.Sampled(dev, w, true)
-		if err != nil {
-			return nil, nil, err
-		}
-		tb, ok, err := s.TBPointSim(w)
-		if err != nil {
-			return nil, nil, err
-		}
-		if !ok {
-			continue
-		}
-		oneB, err := s.FirstN(dev, w)
-		if err != nil {
-			return nil, nil, err
-		}
-		ref := float64(sil.Cycles)
-		fullE = append(fullE, stats.AbsPctErr(float64(full.ProjCycles), ref))
-		oneBE = append(oneBE, stats.AbsPctErr(float64(oneB.ProjCycles), ref))
-		pkaE = append(pkaE, pka.ErrorPct)
-		tbE = append(tbE, stats.AbsPctErr(float64(tb.ProjCycles), ref))
+		fullE = append(fullE, r.full)
+		oneBE = append(oneBE, r.oneB)
+		pkaE = append(pkaE, r.pka)
+		tbE = append(tbE, r.tb)
 	}
 	// Sort all series by the full-simulation error, the paper's x order.
 	idx := make([]int, len(fullE))
@@ -391,8 +447,7 @@ func Figure10(s *Study) (*report.Chart, *report.Table, error) {
 // alternative device under each methodology.
 func relativeStudy(s *Study, alt gpu.Device, title, note string, excludeMLPerf bool) (*report.Chart, *report.Table, error) {
 	base := s.SelectionDevice()
-	var silS, fullS, oneBS, pkaS []float64
-	var silAll, oneBAll, pkaAll []float64
+	var eligible []*workload.Workload
 	for _, w := range s.Workloads() {
 		if w.Quirk != "" {
 			continue
@@ -400,64 +455,83 @@ func relativeStudy(s *Study, alt gpu.Device, title, note string, excludeMLPerf b
 		if excludeMLPerf && w.Suite == "MLPerf" {
 			continue
 		}
-		silBase, err := s.Silicon(base, w)
-		if err != nil {
-			return nil, nil, err
-		}
-		silAlt, err := s.Silicon(alt, w)
-		if err != nil {
-			return nil, nil, err
-		}
-		secBase := float64(silBase.Cycles) / (float64(base.CoreClockMHz) * 1e6)
-		secAlt := float64(silAlt.Cycles) / (float64(alt.CoreClockMHz) * 1e6)
-		silSpeed := secAlt / secBase
-
-		pkaBase, err := s.Sampled(base, w, true)
-		if err != nil {
-			return nil, nil, err
-		}
-		pkaAlt, err := s.Sampled(alt, w, true)
-		if err != nil {
-			return nil, nil, err
-		}
-		pkaSpeed := cyclesToSec(pkaAlt.ProjCycles, alt) / cyclesToSec(pkaBase.ProjCycles, base)
-
-		var oneBSpeed float64
-		if w.Suite != "MLPerf" {
-			oneBBase, err := s.FirstN(base, w)
+		eligible = append(eligible, w)
+	}
+	type relRow struct {
+		sil, pka, oneB, full float64 // speedups; oneB/full zero when absent
+		comparable           bool    // full sim feasible on both devices
+	}
+	perW, err := parallel.Map(s.Cfg.Parallelism, eligible,
+		func(_ int, w *workload.Workload) (relRow, error) {
+			silBase, err := s.Silicon(base, w)
 			if err != nil {
-				return nil, nil, err
+				return relRow{}, err
 			}
-			oneBAlt, err := s.FirstN(alt, w)
+			silAlt, err := s.Silicon(alt, w)
 			if err != nil {
-				return nil, nil, err
+				return relRow{}, err
 			}
-			oneBSpeed = cyclesToSec(oneBAlt.ProjCycles, alt) / cyclesToSec(oneBBase.ProjCycles, base)
-		}
+			secBase := float64(silBase.Cycles) / (float64(base.CoreClockMHz) * 1e6)
+			secAlt := float64(silAlt.Cycles) / (float64(alt.CoreClockMHz) * 1e6)
+			r := relRow{sil: secAlt / secBase}
 
-		silAll = append(silAll, silSpeed)
-		pkaAll = append(pkaAll, pkaSpeed)
-		if oneBSpeed > 0 {
-			oneBAll = append(oneBAll, oneBSpeed)
-		}
+			pkaBase, err := s.Sampled(base, w, true)
+			if err != nil {
+				return relRow{}, err
+			}
+			pkaAlt, err := s.Sampled(alt, w, true)
+			if err != nil {
+				return relRow{}, err
+			}
+			r.pka = cyclesToSec(pkaAlt.ProjCycles, alt) / cyclesToSec(pkaBase.ProjCycles, base)
 
-		fullBase, err := s.Full(base, w)
-		if err != nil {
-			return nil, nil, err
+			if w.Suite != "MLPerf" {
+				oneBBase, err := s.FirstN(base, w)
+				if err != nil {
+					return relRow{}, err
+				}
+				oneBAlt, err := s.FirstN(alt, w)
+				if err != nil {
+					return relRow{}, err
+				}
+				r.oneB = cyclesToSec(oneBAlt.ProjCycles, alt) / cyclesToSec(oneBBase.ProjCycles, base)
+			}
+
+			fullBase, err := s.Full(base, w)
+			if err != nil {
+				return relRow{}, err
+			}
+			fullAlt, err := s.Full(alt, w)
+			if err != nil {
+				return relRow{}, err
+			}
+			if fullBase != nil && fullAlt != nil {
+				r.comparable = true
+				r.full = cyclesToSec(fullAlt.ProjCycles, alt) / cyclesToSec(fullBase.ProjCycles, base)
+			}
+			return r, nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var silS, fullS, oneBS, pkaS []float64
+	var silAll, oneBAll, pkaAll []float64
+	for _, r := range perW {
+		silAll = append(silAll, r.sil)
+		pkaAll = append(pkaAll, r.pka)
+		if r.oneB > 0 {
+			oneBAll = append(oneBAll, r.oneB)
 		}
-		fullAlt, err := s.Full(alt, w)
-		if err != nil {
-			return nil, nil, err
-		}
-		if fullBase == nil || fullAlt == nil {
+		if !r.comparable {
 			continue
 		}
-		silS = append(silS, silSpeed)
-		fullS = append(fullS, cyclesToSec(fullAlt.ProjCycles, alt)/cyclesToSec(fullBase.ProjCycles, base))
-		if oneBSpeed > 0 {
-			oneBS = append(oneBS, oneBSpeed)
+		silS = append(silS, r.sil)
+		fullS = append(fullS, r.full)
+		if r.oneB > 0 {
+			oneBS = append(oneBS, r.oneB)
 		}
-		pkaS = append(pkaS, pkaSpeed)
+		pkaS = append(pkaS, r.pka)
 	}
 
 	sortAll := func(xs []float64) []float64 { sort.Float64s(xs); return xs }

@@ -8,9 +8,12 @@
 //
 // A Study memoizes every expensive artifact — silicon walks, PKS
 // selections, full simulations, sampled simulations, baselines — keyed by
-// device and workload, so the figures share work when generated together
-// (the whole suite is a single-core workload; see DESIGN.md for the
-// compute-budget discussion).
+// device and workload in per-key singleflight caches, so the figures share
+// work when generated together and generators can fan per-workload
+// computation out across a bounded worker pool (Cfg.Parallelism; see
+// DESIGN.md's concurrency-model section) without ever computing an
+// artifact twice. Each per-workload pipeline stays single-threaded and
+// deterministic, so parallel and serial runs render byte-identical output.
 package experiments
 
 import (
@@ -19,6 +22,7 @@ import (
 
 	"pka/internal/core"
 	"pka/internal/gpu"
+	"pka/internal/parallel"
 	"pka/internal/pks"
 	"pka/internal/sampling"
 	"pka/internal/silicon"
@@ -27,39 +31,45 @@ import (
 	"pka/internal/workload"
 )
 
-// Study owns the memoized state behind the experiment generators.
+// Study owns the memoized state behind the experiment generators. All
+// accessors are safe for concurrent use: each artifact kind lives in a
+// singleflight cache, so concurrent callers asking for the same
+// (device, workload) artifact block on one computation instead of
+// duplicating it.
 type Study struct {
 	// Cfg is the base configuration; Cfg.Device is the selection machine
-	// (Volta, as in the paper).
+	// (Volta, as in the paper). Cfg.Parallelism bounds the generators'
+	// fan-out (0 = GOMAXPROCS, 1 = serial).
 	Cfg core.Config
 
-	mu         sync.Mutex
-	workloads  []*workload.Workload
-	selections map[string]*pks.Selection
-	crossGen   map[string]pks.CrossGenResult
-	siliconRes map[string]silicon.AppResult
-	fullSims   map[string]*sampling.Result // nil value = infeasible
-	sampled    map[string]core.SampledSim
-	firstNs    map[string]*sampling.Result
-	tbSels     map[string]*tbpoint.Selection // nil value = too large
-	tbSims     map[string]tbpoint.SimResult
+	mu        sync.Mutex
+	workloads []*workload.Workload
+
+	selections parallel.Cache[string, *pks.Selection]
+	crossGen   parallel.Cache[string, pks.CrossGenResult]
+	siliconRes parallel.Cache[string, silicon.AppResult]
+	fullSims   parallel.Cache[string, *sampling.Result] // nil value = infeasible
+	sampled    parallel.Cache[string, core.SampledSim]
+	firstNs    parallel.Cache[string, *sampling.Result]
+	tbSels     parallel.Cache[string, *tbpoint.Selection] // nil value = too large
+	tbSims     parallel.Cache[string, tbSimEntry]
+}
+
+// tbSimEntry carries TBPointSim's (result, feasible) pair through the
+// cache.
+type tbSimEntry struct {
+	res tbpoint.SimResult
+	ok  bool
 }
 
 // New returns a Study with the paper's configuration: selection on a
 // Volta V100, 5% PKS target, s = 0.25, n = 3000.
 func New() *Study {
-	return &Study{
-		Cfg:        core.Config{Device: gpu.VoltaV100()},
-		selections: map[string]*pks.Selection{},
-		crossGen:   map[string]pks.CrossGenResult{},
-		siliconRes: map[string]silicon.AppResult{},
-		fullSims:   map[string]*sampling.Result{},
-		sampled:    map[string]core.SampledSim{},
-		firstNs:    map[string]*sampling.Result{},
-		tbSels:     map[string]*tbpoint.Selection{},
-		tbSims:     map[string]tbpoint.SimResult{},
-	}
+	return &Study{Cfg: core.Config{Device: gpu.VoltaV100()}}
 }
+
+// Workers returns the study's effective fan-out width.
+func (s *Study) Workers() int { return parallel.Workers(s.Cfg.Parallelism) }
 
 // Workloads returns the 147-workload study set (cached).
 func (s *Study) Workloads() []*workload.Workload {
@@ -86,82 +96,39 @@ func key(dev gpu.Device, w *workload.Workload) string { return dev.Name + "|" + 
 
 // Selection returns the (cached) Volta PKS selection for the workload.
 func (s *Study) Selection(w *workload.Workload) (*pks.Selection, error) {
-	s.mu.Lock()
-	if sel, ok := s.selections[w.FullName()]; ok {
-		s.mu.Unlock()
-		return sel, nil
-	}
-	s.mu.Unlock()
-	sel, err := pks.Select(s.Cfg.Device, w, s.Cfg.PKS)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.selections[w.FullName()] = sel
-	s.mu.Unlock()
-	return sel, nil
+	return s.selections.Do(w.FullName(), func() (*pks.Selection, error) {
+		return pks.Select(s.Cfg.Device, w, s.Cfg.PKS)
+	})
 }
 
 // CrossGen evaluates the Volta selection on another device's silicon.
 func (s *Study) CrossGen(dev gpu.Device, w *workload.Workload) (pks.CrossGenResult, error) {
-	k := key(dev, w)
-	s.mu.Lock()
-	if r, ok := s.crossGen[k]; ok {
-		s.mu.Unlock()
-		return r, nil
-	}
-	s.mu.Unlock()
-	sel, err := s.Selection(w)
-	if err != nil {
-		return pks.CrossGenResult{}, err
-	}
-	r, err := pks.ProjectOnDevice(dev, w, sel)
-	if err != nil {
-		return pks.CrossGenResult{}, err
-	}
-	s.mu.Lock()
-	s.crossGen[k] = r
-	s.mu.Unlock()
-	return r, nil
+	return s.crossGen.Do(key(dev, w), func() (pks.CrossGenResult, error) {
+		sel, err := s.Selection(w)
+		if err != nil {
+			return pks.CrossGenResult{}, err
+		}
+		return pks.ProjectOnDevice(dev, w, sel)
+	})
 }
 
 // Silicon returns the (cached) silicon ground truth on the device.
 func (s *Study) Silicon(dev gpu.Device, w *workload.Workload) (silicon.AppResult, error) {
-	k := key(dev, w)
-	s.mu.Lock()
-	if r, ok := s.siliconRes[k]; ok {
-		s.mu.Unlock()
-		return r, nil
-	}
-	s.mu.Unlock()
-	r, err := sampling.SiliconTotal(dev, w)
-	if err != nil {
-		return silicon.AppResult{}, err
-	}
-	s.mu.Lock()
-	s.siliconRes[k] = r
-	s.mu.Unlock()
-	return r, nil
+	return s.siliconRes.Do(key(dev, w), func() (silicon.AppResult, error) {
+		return sampling.SiliconTotal(dev, w)
+	})
 }
 
 // Full returns the (cached) full-simulation result on the device, or nil
 // when the workload is infeasible to simulate fully.
 func (s *Study) Full(dev gpu.Device, w *workload.Workload) (*sampling.Result, error) {
-	k := key(dev, w)
-	s.mu.Lock()
-	if r, ok := s.fullSims[k]; ok {
-		s.mu.Unlock()
-		return r, nil
-	}
-	s.mu.Unlock()
-	r, err := sampling.FullSim(dev, w, s.Cfg.FullSimBudget)
-	if err != nil && !errors.Is(err, sampling.ErrInfeasible) {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.fullSims[k] = r // nil when infeasible
-	s.mu.Unlock()
-	return r, nil
+	return s.fullSims.Do(key(dev, w), func() (*sampling.Result, error) {
+		r, err := sampling.FullSim(dev, w, s.Cfg.FullSimBudget)
+		if err != nil && !errors.Is(err, sampling.ErrInfeasible) {
+			return nil, err
+		}
+		return r, nil // nil when infeasible
+	})
 }
 
 // Sampled runs (cached) PKS- or PKA-sampled simulation on the device using
@@ -172,106 +139,76 @@ func (s *Study) Sampled(dev gpu.Device, w *workload.Workload, usePKP bool) (core
 	if usePKP {
 		k += "|pkp"
 	}
-	s.mu.Lock()
-	if r, ok := s.sampled[k]; ok {
-		s.mu.Unlock()
+	return s.sampled.Do(k, func() (core.SampledSim, error) {
+		sel, err := s.Selection(w)
+		if err != nil {
+			return core.SampledSim{}, err
+		}
+		cfg := s.Cfg
+		cfg.Device = dev
+		r, err := core.RunSampled(cfg, w, sel, usePKP)
+		if err != nil {
+			return core.SampledSim{}, err
+		}
+		sil, err := s.Silicon(dev, w)
+		if err != nil {
+			return core.SampledSim{}, err
+		}
+		r.ErrorPct = stats.AbsPctErr(float64(r.ProjCycles), float64(sil.Cycles))
+		full, err := s.Full(dev, w)
+		if err != nil {
+			return core.SampledSim{}, err
+		}
+		fullWork := int64(float64(w.ApproxWarpInstructions(1<<62)) * dev.ISAScale)
+		if full != nil {
+			fullWork = full.SimWarpInstrs
+		}
+		if r.SimWarpInstrs > 0 {
+			r.SpeedupVsFull = float64(fullWork) / float64(r.SimWarpInstrs)
+		}
 		return r, nil
-	}
-	s.mu.Unlock()
-
-	sel, err := s.Selection(w)
-	if err != nil {
-		return core.SampledSim{}, err
-	}
-	cfg := s.Cfg
-	cfg.Device = dev
-	r, err := core.RunSampled(cfg, w, sel, usePKP)
-	if err != nil {
-		return core.SampledSim{}, err
-	}
-	sil, err := s.Silicon(dev, w)
-	if err != nil {
-		return core.SampledSim{}, err
-	}
-	r.ErrorPct = stats.AbsPctErr(float64(r.ProjCycles), float64(sil.Cycles))
-	full, err := s.Full(dev, w)
-	if err != nil {
-		return core.SampledSim{}, err
-	}
-	fullWork := int64(float64(w.ApproxWarpInstructions(1<<62)) * dev.ISAScale)
-	if full != nil {
-		fullWork = full.SimWarpInstrs
-	}
-	if r.SimWarpInstrs > 0 {
-		r.SpeedupVsFull = float64(fullWork) / float64(r.SimWarpInstrs)
-	}
-	s.mu.Lock()
-	s.sampled[k] = r
-	s.mu.Unlock()
-	return r, nil
+	})
 }
 
 // FirstN runs (cached) the first-N-instructions baseline on the device.
 func (s *Study) FirstN(dev gpu.Device, w *workload.Workload) (*sampling.Result, error) {
-	k := key(dev, w)
-	s.mu.Lock()
-	if r, ok := s.firstNs[k]; ok {
-		s.mu.Unlock()
-		return r, nil
-	}
-	s.mu.Unlock()
-	r, err := sampling.FirstN(dev, w, 0)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.firstNs[k] = r
-	s.mu.Unlock()
-	return r, nil
+	return s.firstNs.Do(key(dev, w), func() (*sampling.Result, error) {
+		return sampling.FirstN(dev, w, 0)
+	})
 }
 
 // TBPoint returns the (cached) TBPoint selection on the Volta, or nil when
 // the workload exceeds the baseline's scaling wall.
 func (s *Study) TBPoint(w *workload.Workload) (*tbpoint.Selection, error) {
-	s.mu.Lock()
-	if r, ok := s.tbSels[w.FullName()]; ok {
-		s.mu.Unlock()
+	return s.tbSels.Do(w.FullName(), func() (*tbpoint.Selection, error) {
+		r, err := tbpoint.Select(s.Cfg.Device, w, tbpoint.Options{})
+		if err != nil && !errors.Is(err, tbpoint.ErrTooLarge) {
+			return nil, err
+		}
 		return r, nil
-	}
-	s.mu.Unlock()
-	r, err := tbpoint.Select(s.Cfg.Device, w, tbpoint.Options{})
-	if err != nil && !errors.Is(err, tbpoint.ErrTooLarge) {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.tbSels[w.FullName()] = r
-	s.mu.Unlock()
-	return r, nil
+	})
 }
 
 // TBPointSim returns the (cached) simulation of the TBPoint selection.
 func (s *Study) TBPointSim(w *workload.Workload) (tbpoint.SimResult, bool, error) {
-	s.mu.Lock()
-	if r, ok := s.tbSims[w.FullName()]; ok {
-		s.mu.Unlock()
-		return r, true, nil
-	}
-	s.mu.Unlock()
-	sel, err := s.TBPoint(w)
+	e, err := s.tbSims.Do(w.FullName(), func() (tbSimEntry, error) {
+		sel, err := s.TBPoint(w)
+		if err != nil {
+			return tbSimEntry{}, err
+		}
+		if sel == nil {
+			return tbSimEntry{}, nil
+		}
+		r, err := tbpoint.Simulate(s.Cfg.Device, w, sel, s.Cfg.KernelCapCycles)
+		if err != nil {
+			return tbSimEntry{}, err
+		}
+		return tbSimEntry{res: r, ok: true}, nil
+	})
 	if err != nil {
 		return tbpoint.SimResult{}, false, err
 	}
-	if sel == nil {
-		return tbpoint.SimResult{}, false, nil
-	}
-	r, err := tbpoint.Simulate(s.Cfg.Device, w, sel, s.Cfg.KernelCapCycles)
-	if err != nil {
-		return tbpoint.SimResult{}, false, err
-	}
-	s.mu.Lock()
-	s.tbSims[w.FullName()] = r
-	s.mu.Unlock()
-	return r, true, nil
+	return e.res, e.ok, nil
 }
 
 // ComparableSet returns the workloads eligible for the Figure 7/8

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"pka/internal/gpu"
+	"pka/internal/parallel"
 	"pka/internal/report"
 	"pka/internal/stats"
 	"pka/internal/workload"
@@ -18,7 +19,7 @@ func Table3(s *Study) (*report.Table, error) {
 		Title:   "Table 3: Principal Kernel Selection output examples (target error 5%)",
 		Columns: []string{"Suite", "Workload", "Selected kernel IDs", "Group counts"},
 	}
-	for _, name := range []string{
+	names := []string{
 		"Rodinia/gauss_208",
 		"Rodinia/bfs65536",
 		"Parboil/histo",
@@ -27,7 +28,8 @@ func Table3(s *Study) (*report.Table, error) {
 		"Polybench/gramschmidt",
 		"Cutlass/640x32x640_wgemm",
 		"Cutlass/1024x1024x1024_sgemm",
-	} {
+	}
+	rows, err := parallel.Map(s.Cfg.Parallelism, names, func(_ int, name string) ([]string, error) {
 		w := workload.Find(name)
 		if w == nil {
 			return nil, fmt.Errorf("table3: workload %s missing", name)
@@ -50,7 +52,13 @@ func Table3(s *Study) (*report.Table, error) {
 			ids = append(ids, fmt.Sprint(g.RepIndex))
 			counts = append(counts, fmt.Sprint(g.Count()))
 		}
-		tab.AddRow(w.Suite, w.Name, strings.Join(ids, ","), strings.Join(counts, ","))
+		return []string{w.Suite, w.Name, strings.Join(ids, ","), strings.Join(counts, ",")}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		tab.AddRow(row...)
 	}
 	return tab, nil
 }
@@ -84,15 +92,27 @@ func Table4(s *Study) (*report.Table, error) {
 	turing := gpu.TuringRTX2060()
 	ampere := gpu.AmpereRTX3070()
 
+	// Fan the expensive per-workload pipelines out across the pool; the
+	// serial pass below only shuffles the precomputed rows, so row order
+	// (and therefore rendered output) matches a serial run byte for byte.
+	perWorkload, err := parallel.Map(s.Cfg.Parallelism, s.Workloads(),
+		func(_ int, w *workload.Workload) (table4Row, error) {
+			r, err := table4For(s, w, turing, ampere)
+			if err != nil {
+				return r, fmt.Errorf("table4: %s: %w", w.FullName(), err)
+			}
+			return r, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	var rows []table4Row
 	groups := map[string][]table4Row{}
 	var groupOrder []string
 
-	for _, w := range s.Workloads() {
-		r, err := table4For(s, w, turing, ampere)
-		if err != nil {
-			return nil, fmt.Errorf("table4: %s: %w", w.FullName(), err)
-		}
+	for i, w := range s.Workloads() {
+		r := perWorkload[i]
 		switch w.Suite {
 		case "Cutlass", "DeepBench":
 			fam := w.Suite + " " + family(w.Name)
@@ -311,16 +331,23 @@ func Table4SuiteSummary(s *Study) (*report.Table, error) {
 	type acc struct {
 		errs, sus []float64
 	}
+	var eligible []*workload.Workload
+	for _, w := range s.Workloads() {
+		if w.Quirk == "" {
+			eligible = append(eligible, w)
+		}
+	}
+	perWorkload, err := parallel.Map(s.Cfg.Parallelism, eligible,
+		func(_ int, w *workload.Workload) (table4Row, error) {
+			return table4For(s, w, turing, ampere)
+		})
+	if err != nil {
+		return nil, err
+	}
 	suites := map[string]*acc{}
 	var order []string
-	for _, w := range s.Workloads() {
-		if w.Quirk != "" {
-			continue
-		}
-		r, err := table4For(s, w, turing, ampere)
-		if err != nil {
-			return nil, err
-		}
+	for i, w := range eligible {
+		r := perWorkload[i]
 		a, ok := suites[w.Suite]
 		if !ok {
 			a = &acc{}

@@ -1,0 +1,147 @@
+// Package parallel provides the bounded-concurrency primitives behind the
+// experiment engine: a bounded worker Pool, a deterministic
+// order-preserving Map, and a generic per-key singleflight Cache (see
+// cache.go). The package exists so the 147-workload × 3-device artifact
+// sweep can use every core while keeping rendered output byte-identical to
+// a serial run: Map preserves input order and first-error semantics no
+// matter how the scheduler interleaves workers, and Cache guarantees each
+// expensive artifact is computed exactly once per key.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Workers normalizes a parallelism knob: n > 0 is used as-is, anything
+// else falls back to GOMAXPROCS (the pool's default width).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// PanicError reports a panic recovered inside a worker. Containing panics
+// as errors keeps one faulty item from tearing down a whole sweep and
+// keeps -race stress tests from aborting mid-flight.
+type PanicError struct {
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the worker's stack at recovery time.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: worker panicked: %v", e.Value)
+}
+
+// protect invokes fn, converting a panic into a *PanicError.
+func protect[R any](fn func() (R, error)) (r R, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// Map applies fn to every item with at most Workers(workers) concurrent
+// calls and returns the results in input order. Every item is attempted
+// even when some fail, and the returned error is the lowest-indexed
+// failure — so the (results, error) pair is deterministic regardless of
+// goroutine scheduling. A panic inside fn is contained and surfaces as a
+// *PanicError for that index.
+func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	n := len(items)
+	if n == 0 {
+		return nil, nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	results := make([]R, n)
+	errs := make([]error, n)
+	if w == 1 {
+		for i := range items {
+			i := i
+			results[i], errs[i] = protect(func() (R, error) { return fn(i, items[i]) })
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for g := 0; g < w; g++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					i := i
+					results[i], errs[i] = protect(func() (R, error) { return fn(i, items[i]) })
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// Pool is a bounded worker pool: at most Size tasks run concurrently, and
+// Wait blocks until every submitted task finishes. The zero value is not
+// usable; construct with NewPool.
+type Pool struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+
+	mu  sync.Mutex
+	err error // first task error observed, panics included
+}
+
+// NewPool returns a pool running at most Workers(workers) tasks at once.
+func NewPool(workers int) *Pool {
+	return &Pool{sem: make(chan struct{}, Workers(workers))}
+}
+
+// Size returns the pool's concurrency bound.
+func (p *Pool) Size() int { return cap(p.sem) }
+
+// Go submits a task. It blocks until a worker slot is free, then runs the
+// task on its own goroutine; panics are contained as *PanicError.
+func (p *Pool) Go(fn func() error) {
+	p.sem <- struct{}{}
+	p.wg.Add(1)
+	go func() {
+		defer func() {
+			<-p.sem
+			p.wg.Done()
+		}()
+		if _, err := protect(func() (struct{}, error) { return struct{}{}, fn() }); err != nil {
+			p.mu.Lock()
+			if p.err == nil {
+				p.err = err
+			}
+			p.mu.Unlock()
+		}
+	}()
+}
+
+// Wait blocks until all submitted tasks finish and returns the first error
+// any of them produced (in completion order, not submission order — use
+// Map when deterministic error selection matters).
+func (p *Pool) Wait() error {
+	p.wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}

@@ -64,6 +64,19 @@ type WorkloadJSON struct {
 	Kernels []KernelJSON `json:"kernels"`
 }
 
+// Document bounds. JSON workloads expand eagerly (unlike the study's
+// index-generated streams), so a hostile or typo'd document must not be
+// able to allocate unbounded memory before validation rejects it.
+const (
+	// MaxJSONRepeat bounds one entry's repeat count.
+	MaxJSONRepeat = 1 << 20
+	// MaxJSONKernels bounds the total expanded launch count.
+	MaxJSONKernels = 1 << 20
+	// maxGridX / maxGridYZ mirror CUDA's launch-dimension limits.
+	maxGridX  = 1<<31 - 1
+	maxGridYZ = 65535
+)
+
 // FromJSON parses a workload document and validates every kernel.
 func FromJSON(r io.Reader) (*Workload, error) {
 	dec := json.NewDecoder(r)
@@ -89,8 +102,17 @@ func FromJSON(r io.Reader) (*Workload, error) {
 			return nil, err
 		}
 		repeat := kj.Repeat
-		if repeat <= 0 {
+		if repeat < 0 {
+			return nil, fmt.Errorf("workload: kernel %d of %q has negative repeat %d", i, doc.Name, repeat)
+		}
+		if repeat > MaxJSONRepeat {
+			return nil, fmt.Errorf("workload: kernel %d of %q repeats %d times (max %d)", i, doc.Name, repeat, MaxJSONRepeat)
+		}
+		if repeat == 0 {
 			repeat = 1
+		}
+		if len(seq)+repeat > MaxJSONKernels {
+			return nil, fmt.Errorf("workload: document %q expands past %d kernel launches", doc.Name, MaxJSONKernels)
 		}
 		for r := 0; r < repeat; r++ {
 			inst := k
@@ -118,6 +140,41 @@ func LoadJSON(path string) (*Workload, error) {
 func (kj *KernelJSON) toKernel(doc string, idx int) (trace.KernelDesc, error) {
 	if kj.Name == "" {
 		return trace.KernelDesc{}, fmt.Errorf("workload: kernel %d of %q has no name", idx, doc)
+	}
+	// Bounds trace.Validate does not cover: dimension and count sanity
+	// for documents arriving from outside the curated study set.
+	for d, v := range kj.Grid {
+		if v < 0 {
+			return trace.KernelDesc{}, fmt.Errorf("workload: kernel %d of %q has negative grid dim %d", idx, doc, v)
+		}
+		max := maxGridYZ
+		if d == 0 {
+			max = maxGridX
+		}
+		if v > max {
+			return trace.KernelDesc{}, fmt.Errorf("workload: kernel %d of %q grid dim %d exceeds %d", idx, doc, v, max)
+		}
+	}
+	if blocks := int64(max64(kj.Grid[0], 1)) * int64(max64(kj.Grid[1], 1)) * int64(max64(kj.Grid[2], 1)); blocks > maxGridX {
+		return trace.KernelDesc{}, fmt.Errorf("workload: kernel %d of %q launches %d blocks (max %d)", idx, doc, blocks, maxGridX)
+	}
+	for _, v := range kj.Block {
+		if v < 0 {
+			return trace.KernelDesc{}, fmt.Errorf("workload: kernel %d of %q has negative block dim %d", idx, doc, v)
+		}
+	}
+	for name, v := range map[string]int{
+		"global_loads": kj.Mix.GlobalLoads, "global_stores": kj.Mix.GlobalStores,
+		"local_loads": kj.Mix.LocalLoads, "shared_loads": kj.Mix.SharedLoads,
+		"shared_stores": kj.Mix.SharedStores, "global_atomics": kj.Mix.GlobalAtomics,
+		"compute": kj.Mix.Compute, "tensor_ops": kj.Mix.TensorOps,
+	} {
+		if v < 0 {
+			return trace.KernelDesc{}, fmt.Errorf("workload: kernel %d of %q has negative mix count %s=%d", idx, doc, name, v)
+		}
+	}
+	if kj.RegsPerThread < 0 || kj.SharedMemPerBlock < 0 || kj.WorkingSetBytes < 0 {
+		return trace.KernelDesc{}, fmt.Errorf("workload: kernel %d of %q has negative resource usage", idx, doc)
 	}
 	k := trace.KernelDesc{
 		Name:              kj.Name,
@@ -170,4 +227,11 @@ func (kj *KernelJSON) toKernel(doc string, idx int) (trace.KernelDesc, error) {
 		return trace.KernelDesc{}, fmt.Errorf("workload: kernel %d of %q: %w", idx, doc, err)
 	}
 	return k, nil
+}
+
+func max64(v, lo int) int {
+	if v > lo {
+		return v
+	}
+	return lo
 }

@@ -218,6 +218,11 @@ func TBPointSelect(dev Device, w *Workload) (*TBPointSelection, error) {
 //
 //	study := pka.NewStudy()
 //	tab, err := pka.Table3(study)
+//
+// A Study is safe for concurrent use: artifacts memoize through
+// singleflight caches, and generators fan per-workload computation across
+// Config.Parallelism workers (0 = GOMAXPROCS, 1 = serial) while emitting
+// byte-identical output at any setting.
 func NewStudy() *Study { return experiments.New() }
 
 // Experiment generators, re-exported for API users; each regenerates one
