@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race bench ci
+.PHONY: all vet build test race bench bench-all ci
 
 all: build
 
@@ -15,17 +15,29 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detect the concurrency layer. internal/parallel is fast enough to
+# Race-detect the concurrency layer. internal/parallel and internal/obs
+# (lock-free instruments, concurrent tracer/audit) are fast enough to
 # race in full; the experiments and workload suites run with -short so the
 # concurrency regression tests (singleflight, 64-goroutine stress, fuzz
 # seed corpus) execute under the detector without paying for the full
 # artifact pipeline at ~10x race overhead. `make test` covers the heavy
 # paths (including the parallel-vs-serial determinism golden) natively.
 race:
-	$(GO) test -race ./internal/parallel/...
+	$(GO) test -race ./internal/parallel/... ./internal/obs/...
 	$(GO) test -race -short ./internal/experiments/... ./internal/workload/...
 
+# Snapshot the perf trajectory: substrate microbenchmarks at full benchtime
+# (BenchmarkSimTick's allocs/op==0 only means something once setup costs
+# amortize) plus the study fan-out speedup at one iteration, rendered into
+# a diffable JSON artifact. bench-all is the old full artifact sweep.
 bench:
+	@{ $(GO) test -run NONE -bench 'SimTick' -benchmem ./internal/sim ; \
+	   $(GO) test -run NONE -bench 'SimulatorThroughput|RollingDetector|KMeansSweep|SiliconModel|WorkloadGeneration' -benchmem . ; \
+	   $(GO) test -run NONE -bench 'StudyParallel' -benchtime=1x . ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_study.json
+	@echo wrote BENCH_study.json
+
+bench-all:
 	$(GO) test -bench=. -benchtime=1x .
 
 ci: vet build test race

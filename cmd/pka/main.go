@@ -9,6 +9,7 @@
 //	pka -w Rodinia/gauss_208              # full pipeline on one workload
 //	pka -w Polybench/fdtd2d -target 2 -s 0.1
 //	pka -w MLPerf/ssd_training -device turing -selection-only
+//	pka -w Rodinia/gauss_208 -trace t.json -metrics m.prom -audit a.ndjson
 package main
 
 import (
@@ -17,8 +18,8 @@ import (
 	"os"
 	"sort"
 
+	"pka/internal/cli"
 	"pka/internal/core"
-	"pka/internal/gpu"
 	"pka/internal/pkp"
 	"pka/internal/pks"
 	"pka/internal/report"
@@ -29,7 +30,7 @@ func main() {
 	var (
 		list    = flag.Bool("list", false, "list the 147 study workloads")
 		wname   = flag.String("w", "", "workload full name (suite/name)")
-		device  = flag.String("device", "volta", "volta | turing | ampere | volta40")
+		device  = flag.String("device", "volta", cli.DeviceNames)
 		target  = flag.Float64("target", 5, "PKS target selection error (%)")
 		sThresh = flag.Float64("s", pkp.DefaultThreshold, "PKP stability threshold s")
 		window  = flag.Int("n", pkp.DefaultWindow, "PKP rolling window (cycles)")
@@ -38,7 +39,9 @@ func main() {
 		jsonOut = flag.String("json", "", "write the selection (groups, representatives, weights) to this JSON file")
 		wfile   = flag.String("workload-file", "", "analyze a user-defined workload from a JSON document instead of -w")
 		par     = flag.Int("p", 0, "parallelism: concurrent pipeline stages (0 = GOMAXPROCS, 1 = serial)")
+		obsFl   cli.ObsFlags
 	)
+	obsFl.Register(nil)
 	flag.Parse()
 
 	if *list {
@@ -68,27 +71,23 @@ func main() {
 			fatal(err)
 		}
 	case *wname != "":
-		w = workload.Find(*wname)
-		if w == nil {
-			fatal(fmt.Errorf("unknown workload %q (try -list)", *wname))
+		var err error
+		w, err = cli.FindWorkload(*wname)
+		if err != nil {
+			fatal(err)
 		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	var dev gpu.Device
-	switch *device {
-	case "volta":
-		dev = gpu.VoltaV100()
-	case "turing":
-		dev = gpu.TuringRTX2060()
-	case "ampere":
-		dev = gpu.AmpereRTX3070()
-	case "volta40":
-		dev = gpu.VoltaV100().WithSMs(40)
-	default:
-		fatal(fmt.Errorf("unknown device %q", *device))
+	dev, err := cli.Device(*device)
+	if err != nil {
+		fatal(err)
+	}
+	observer, err := obsFl.Start()
+	if err != nil {
+		fatal(err)
 	}
 
 	cfg := core.Config{
@@ -96,6 +95,7 @@ func main() {
 		PKS:         pks.Options{TargetErrorPct: *target, MaxK: *maxK},
 		PKP:         pkp.Options{Threshold: *sThresh, Window: *window},
 		Parallelism: *par,
+		Obs:         observer,
 	}
 
 	fmt.Printf("workload   %s (%d kernels) on %s\n", w.FullName(), w.N, dev.Name)
@@ -103,7 +103,9 @@ func main() {
 		fmt.Printf("quirk      %s (the paper excludes this workload from some result columns)\n", w.Quirk)
 	}
 
-	sel, err := pks.Select(dev, w, cfg.PKS)
+	selSpan := observer.StartSpan("pks-select", w.FullName())
+	sel, err := pks.Select(dev, w, cfg.PKSOptions())
+	selSpan.End()
 	if err != nil {
 		fatal(err)
 	}
@@ -129,6 +131,9 @@ func main() {
 		fmt.Printf("selection written to %s\n\n", *jsonOut)
 	}
 	if *selOnly {
+		if err := obsFl.Finish(); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -148,6 +153,9 @@ func main() {
 	fmt.Printf("  PKA (PKS+PKP)         %s (%.1fx), error %.1f%%\n",
 		report.Hours(ev.PKA.SimHours), ev.PKA.SpeedupVsFull, ev.PKA.ErrorPct)
 	fmt.Printf("  PKA projected DRAM    %.1f%%\n", ev.PKA.DRAMUtil*100)
+	if err := obsFl.Finish(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

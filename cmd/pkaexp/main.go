@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"pka/internal/cli"
 	"pka/internal/experiments"
 	"pka/internal/report"
 	"pka/internal/workload"
@@ -130,7 +131,9 @@ func main() {
 		suite    = flag.String("suite", "", "restrict the study to one suite (Rodinia, Parboil, ...)")
 		workname = flag.String("workloads", "", "comma-separated full workload names to restrict to")
 		par      = flag.Int("p", 0, "parallelism: concurrent per-workload artifact computations (0 = GOMAXPROCS, 1 = serial)")
+		obsFl    cli.ObsFlags
 	)
+	obsFl.Register(nil)
 	flag.Parse()
 
 	gens := generators()
@@ -157,6 +160,11 @@ func main() {
 
 	s := experiments.New()
 	s.Cfg.Parallelism = *par
+	observer, err := obsFl.Start()
+	if err != nil {
+		fatal(err)
+	}
+	s.Cfg.Obs = observer
 	if *suite != "" {
 		ws := workload.BySuite(*suite)
 		if ws == nil {
@@ -165,13 +173,9 @@ func main() {
 		s.SetWorkloads(ws)
 	}
 	if *workname != "" {
-		var ws []*workload.Workload
-		for _, n := range strings.Split(*workname, ",") {
-			w := workload.Find(strings.TrimSpace(n))
-			if w == nil {
-				fatal(fmt.Errorf("unknown workload %q", n))
-			}
-			ws = append(ws, w)
+		ws, err := cli.Workloads(*workname)
+		if err != nil {
+			fatal(err)
 		}
 		s.SetWorkloads(ws)
 	}
@@ -207,10 +211,16 @@ func main() {
 		}
 		t0 := time.Now()
 		fmt.Fprintf(out, "### %s — %s\n\n", g.name, g.desc)
-		if err := g.run(s, out); err != nil {
+		sp := observer.StartSpan("experiment", g.name)
+		err := g.run(s, out)
+		sp.End()
+		if err != nil {
 			fatal(fmt.Errorf("%s: %w", g.name, err))
 		}
 		fmt.Fprintf(out, "[%s generated in %s]\n\n", g.name, time.Since(t0).Round(time.Millisecond))
+	}
+	if err := obsFl.Finish(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -1,0 +1,171 @@
+// Package cli carries the plumbing the pka and pkaexp commands share:
+// device and workload resolution for the common flag spellings, and the
+// telemetry flag bundle (-trace, -metrics, -audit, -debug-addr) that turns
+// an internal/obs Observer on, wires it into the worker pools, and writes
+// the artifacts out at exit. Keeping this here means both binaries expose
+// identical observability surfaces without duplicating the glue.
+package cli
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strings"
+
+	"pka/internal/gpu"
+	"pka/internal/obs"
+	"pka/internal/parallel"
+	"pka/internal/workload"
+)
+
+// DeviceNames lists the accepted -device spellings.
+const DeviceNames = "volta | turing | ampere | volta40"
+
+// Device resolves a -device flag value to a modeled GPU.
+func Device(name string) (gpu.Device, error) {
+	switch name {
+	case "volta":
+		return gpu.VoltaV100(), nil
+	case "turing":
+		return gpu.TuringRTX2060(), nil
+	case "ampere":
+		return gpu.AmpereRTX3070(), nil
+	case "volta40":
+		return gpu.VoltaV100().WithSMs(40), nil
+	default:
+		return gpu.Device{}, fmt.Errorf("unknown device %q (want %s)", name, DeviceNames)
+	}
+}
+
+// FindWorkload resolves one full workload name ("suite/name") from the
+// study set.
+func FindWorkload(name string) (*workload.Workload, error) {
+	w := workload.Find(name)
+	if w == nil {
+		return nil, fmt.Errorf("unknown workload %q (try -list)", name)
+	}
+	return w, nil
+}
+
+// Workloads resolves a comma-separated list of full workload names.
+func Workloads(csv string) ([]*workload.Workload, error) {
+	var ws []*workload.Workload
+	for _, n := range strings.Split(csv, ",") {
+		w, err := FindWorkload(strings.TrimSpace(n))
+		if err != nil {
+			return nil, err
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
+}
+
+// ObsFlags is the telemetry flag bundle both CLIs register. Telemetry is
+// off (and the Observer nil) unless at least one flag is set; everything
+// it records is observe-only, so results are byte-identical either way.
+type ObsFlags struct {
+	Trace     string // Chrome trace_event JSON output path
+	Metrics   string // Prometheus text exposition output path
+	Audit     string // decision-audit NDJSON output path
+	DebugAddr string // host:port for pprof + expvar + /metrics
+
+	observer *obs.Observer
+}
+
+// Register installs the telemetry flags on the flag set (the default set
+// when fs is nil).
+func (f *ObsFlags) Register(fs *flag.FlagSet) {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	fs.StringVar(&f.Trace, "trace", "", "write a Chrome trace (chrome://tracing, Perfetto) of pipeline spans to this file")
+	fs.StringVar(&f.Metrics, "metrics", "", "write Prometheus text-format metrics to this file at exit")
+	fs.StringVar(&f.Audit, "audit", "", "write PKS/PKP decision-audit records (NDJSON) to this file")
+	fs.StringVar(&f.DebugAddr, "debug-addr", "", "serve net/http/pprof, expvar and /metrics on this host:port")
+}
+
+// Active reports whether any telemetry output was requested.
+func (f *ObsFlags) Active() bool {
+	return f.Trace != "" || f.Metrics != "" || f.Audit != "" || f.DebugAddr != ""
+}
+
+// Start builds the Observer when telemetry was requested, installs it as
+// the process-wide pool observer, and starts the debug server when asked.
+// It returns nil (telemetry fully disabled) when no flag was set.
+func (f *ObsFlags) Start() (*obs.Observer, error) {
+	if !f.Active() {
+		return nil, nil
+	}
+	o := obs.NewObserver()
+	f.observer = o
+	parallel.SetObserver(o.PoolMetrics())
+	if f.DebugAddr != "" {
+		ln, err := net.Listen("tcp", f.DebugAddr)
+		if err != nil {
+			return nil, fmt.Errorf("debug server: %w", err)
+		}
+		go http.Serve(ln, debugMux(o)) //nolint:errcheck // best-effort debug endpoint
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/ (pprof, expvar, /metrics)\n", ln.Addr())
+	}
+	return o, nil
+}
+
+// debugMux serves the standard pprof and expvar handlers plus the obs
+// registry's Prometheus exposition on its own mux, so enabling the debug
+// server never touches http.DefaultServeMux.
+func debugMux(o *obs.Observer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.Metrics.WritePrometheus(w) //nolint:errcheck // client went away
+	})
+	return mux
+}
+
+// Finish writes every requested artifact from the Observer Start built.
+// It is a no-op when telemetry was never started.
+func (f *ObsFlags) Finish() error {
+	o := f.observer
+	if o == nil {
+		return nil
+	}
+	if f.Trace != "" {
+		if err := writeFile(f.Trace, o.WriteChromeTrace); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	if f.Metrics != "" {
+		if err := writeFile(f.Metrics, o.Metrics.WritePrometheus); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+	}
+	if f.Audit != "" {
+		if err := writeFile(f.Audit, o.Audit.WriteNDJSON); err != nil {
+			return fmt.Errorf("audit: %w", err)
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, render func(w io.Writer) error) error {
+	g, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(g); err != nil {
+		g.Close()
+		return err
+	}
+	return g.Close()
+}

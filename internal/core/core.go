@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"pka/internal/gpu"
+	"pka/internal/obs"
 	"pka/internal/parallel"
 	"pka/internal/pkp"
 	"pka/internal/pks"
@@ -52,6 +53,44 @@ type Config struct {
 	// work is self-contained and deterministic, parallelism only changes
 	// wall-clock time.
 	Parallelism int
+	// Obs, when non-nil, receives pipeline telemetry: a span per
+	// pipeline phase, a span and counter batch per simulated kernel, and
+	// PKS/PKP decision-audit records. Telemetry is observe-only — results
+	// are byte-identical with or without it.
+	Obs *obs.Observer
+}
+
+// PKSOptions returns cfg.PKS with the observer's audit stream and metric
+// family filled in when the caller has not wired its own.
+func (c Config) PKSOptions() pks.Options {
+	o := c.PKS
+	if c.Obs != nil {
+		if o.Audit == nil {
+			o.Audit = c.Obs.Audit
+		}
+		if o.Metrics == nil {
+			o.Metrics = c.Obs.PKSMetrics()
+		}
+	}
+	return o
+}
+
+// PKPOptions returns cfg.PKP wired to the observer for one kernel,
+// defaulting the audit subject to the kernel's qualified name.
+func (c Config) PKPOptions(subject string) pkp.Options {
+	o := c.PKP
+	if c.Obs != nil {
+		if o.Audit == nil {
+			o.Audit = c.Obs.Audit
+		}
+		if o.Metrics == nil {
+			o.Metrics = c.Obs.PKPMetrics()
+		}
+		if o.AuditSubject == "" {
+			o.AuditSubject = subject
+		}
+	}
+	return o
 }
 
 // SimHours converts simulated work into projected simulation wall-clock
@@ -114,6 +153,16 @@ func RunSampled(cfg Config, w *workload.Workload, sel *pks.Selection, usePKP boo
 	if cap <= 0 {
 		cap = sim.DefaultMaxCycles
 	}
+	mode := "pks"
+	if usePKP {
+		mode = "pka"
+	}
+	span := cfg.Obs.StartSpan("sampled:"+mode, w.FullName())
+	defer span.End()
+	var simObs *obs.SimObs
+	if cfg.Obs != nil {
+		simObs = cfg.Obs.SimObs("sim:" + mode + ":" + w.FullName())
+	}
 	s := sim.New(dev)
 	out := SampledSim{}
 	var kernelCycles int64
@@ -122,8 +171,8 @@ func RunSampled(cfg Config, w *workload.Workload, sel *pks.Selection, usePKP boo
 		k := w.Kernel(g.RepIndex)
 		var proj pkp.Projection
 		if usePKP {
-			p := pkp.New(cfg.PKP)
-			res, err := s.RunKernel(&k, sim.Options{Controller: p, MaxCycles: cap})
+			p := pkp.New(cfg.PKPOptions(w.FullName() + "/" + k.Name))
+			res, err := s.RunKernel(&k, sim.Options{Controller: p, MaxCycles: cap, Obs: simObs})
 			if err != nil {
 				return out, fmt.Errorf("core: rep kernel %d: %w", g.RepIndex, err)
 			}
@@ -132,7 +181,7 @@ func RunSampled(cfg Config, w *workload.Workload, sel *pks.Selection, usePKP boo
 				out.Capped = true
 			}
 		} else {
-			res, err := s.RunKernel(&k, sim.Options{MaxCycles: cap})
+			res, err := s.RunKernel(&k, sim.Options{MaxCycles: cap, Obs: simObs})
 			if err != nil {
 				return out, fmt.Errorf("core: rep kernel %d: %w", g.RepIndex, err)
 			}
@@ -176,9 +225,24 @@ func Evaluate(cfg Config, w *workload.Workload) (*Evaluation, error) {
 		full                    *sampling.Result
 	)
 	pool := parallel.NewPool(cfg.Parallelism)
-	pool.Go(func() error { sil, silErr = sampling.SiliconTotal(cfg.Device, w); return nil })
-	pool.Go(func() error { sel, selErr = pks.Select(cfg.Device, w, cfg.PKS); return nil })
-	pool.Go(func() error { full, fullErr = sampling.FullSim(cfg.Device, w, cfg.FullSimBudget); return nil })
+	pool.Go(func() error {
+		sp := cfg.Obs.StartSpan("silicon", w.FullName())
+		defer sp.End()
+		sil, silErr = sampling.SiliconTotal(cfg.Device, w)
+		return nil
+	})
+	pool.Go(func() error {
+		sp := cfg.Obs.StartSpan("pks-select", w.FullName())
+		defer sp.End()
+		sel, selErr = pks.Select(cfg.Device, w, cfg.PKSOptions())
+		return nil
+	})
+	pool.Go(func() error {
+		sp := cfg.Obs.StartSpan("full-sim", w.FullName())
+		defer sp.End()
+		full, fullErr = sampling.FullSim(cfg.Device, w, cfg.FullSimBudget)
+		return nil
+	})
 	if err := pool.Wait(); err != nil {
 		return nil, err // a stage panicked
 	}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"pka/internal/obs"
+	"pka/internal/parallel"
+)
+
+// TestTelemetryIsObserveOnly pins the obs layer's core contract: running
+// the study with every telemetry facet enabled (metrics, tracing, audit,
+// pool observer) must render byte-identical artifacts to a run with
+// telemetry disabled — nothing in obs may feed back into the pipeline.
+func TestTelemetryIsObserveOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the artifact pipeline twice")
+	}
+	render := func(s *Study) string {
+		tab4, err := Table4(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab4.String()
+	}
+
+	plain := render(tinyStudy(4))
+
+	o := obs.NewObserver()
+	parallel.SetObserver(o.PoolMetrics())
+	defer parallel.SetObserver(nil)
+	s := tinyStudy(4)
+	s.Cfg.Obs = o
+	observed := render(s)
+
+	if plain != observed {
+		t.Fatalf("telemetry changed study output:\n--- plain ---\n%s\n--- observed ---\n%s", plain, observed)
+	}
+
+	// The equality above must not be vacuous: the observed run has to have
+	// actually produced telemetry on every facet.
+	var sb strings.Builder
+	if err := o.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, span := range []string{"pks-select", "silicon", "full-sim", `"ph":"X"`} {
+		if !strings.Contains(sb.String(), span) {
+			t.Errorf("trace missing %q", span)
+		}
+	}
+	if n := o.SimMetrics().Kernels.Value(); n == 0 {
+		t.Error("no kernels counted during the observed run")
+	}
+	if n := o.PoolMetrics().Tasks.Value(); n == 0 {
+		t.Error("pool observer saw no tasks")
+	}
+	if len(o.Audit.Filter("pks", "selected")) == 0 {
+		t.Error("no PKS selection audit records")
+	}
+	if len(o.Audit.Filter("pkp", "")) == 0 {
+		t.Error("no PKP audit records")
+	}
+}

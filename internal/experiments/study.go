@@ -97,7 +97,9 @@ func key(dev gpu.Device, w *workload.Workload) string { return dev.Name + "|" + 
 // Selection returns the (cached) Volta PKS selection for the workload.
 func (s *Study) Selection(w *workload.Workload) (*pks.Selection, error) {
 	return s.selections.Do(w.FullName(), func() (*pks.Selection, error) {
-		return pks.Select(s.Cfg.Device, w, s.Cfg.PKS)
+		sp := s.Cfg.Obs.StartSpan("pks-select", w.FullName())
+		defer sp.End()
+		return pks.Select(s.Cfg.Device, w, s.Cfg.PKSOptions())
 	})
 }
 
@@ -115,6 +117,8 @@ func (s *Study) CrossGen(dev gpu.Device, w *workload.Workload) (pks.CrossGenResu
 // Silicon returns the (cached) silicon ground truth on the device.
 func (s *Study) Silicon(dev gpu.Device, w *workload.Workload) (silicon.AppResult, error) {
 	return s.siliconRes.Do(key(dev, w), func() (silicon.AppResult, error) {
+		sp := s.Cfg.Obs.StartSpan("silicon", key(dev, w))
+		defer sp.End()
 		return sampling.SiliconTotal(dev, w)
 	})
 }
@@ -123,6 +127,8 @@ func (s *Study) Silicon(dev gpu.Device, w *workload.Workload) (silicon.AppResult
 // when the workload is infeasible to simulate fully.
 func (s *Study) Full(dev gpu.Device, w *workload.Workload) (*sampling.Result, error) {
 	return s.fullSims.Do(key(dev, w), func() (*sampling.Result, error) {
+		sp := s.Cfg.Obs.StartSpan("full-sim", key(dev, w))
+		defer sp.End()
 		r, err := sampling.FullSim(dev, w, s.Cfg.FullSimBudget)
 		if err != nil && !errors.Is(err, sampling.ErrInfeasible) {
 			return nil, err
@@ -173,6 +179,8 @@ func (s *Study) Sampled(dev gpu.Device, w *workload.Workload, usePKP bool) (core
 // FirstN runs (cached) the first-N-instructions baseline on the device.
 func (s *Study) FirstN(dev gpu.Device, w *workload.Workload) (*sampling.Result, error) {
 	return s.firstNs.Do(key(dev, w), func() (*sampling.Result, error) {
+		sp := s.Cfg.Obs.StartSpan("first-n", key(dev, w))
+		defer sp.End()
 		return sampling.FirstN(dev, w, 0)
 	})
 }
@@ -181,6 +189,8 @@ func (s *Study) FirstN(dev gpu.Device, w *workload.Workload) (*sampling.Result, 
 // the workload exceeds the baseline's scaling wall.
 func (s *Study) TBPoint(w *workload.Workload) (*tbpoint.Selection, error) {
 	return s.tbSels.Do(w.FullName(), func() (*tbpoint.Selection, error) {
+		sp := s.Cfg.Obs.StartSpan("tbpoint-select", w.FullName())
+		defer sp.End()
 		r, err := tbpoint.Select(s.Cfg.Device, w, tbpoint.Options{})
 		if err != nil && !errors.Is(err, tbpoint.ErrTooLarge) {
 			return nil, err
@@ -199,6 +209,8 @@ func (s *Study) TBPointSim(w *workload.Workload) (tbpoint.SimResult, bool, error
 		if sel == nil {
 			return tbSimEntry{}, nil
 		}
+		sp := s.Cfg.Obs.StartSpan("tbpoint-sim", w.FullName())
+		defer sp.End()
 		r, err := tbpoint.Simulate(s.Cfg.Device, w, sel, s.Cfg.KernelCapCycles)
 		if err != nil {
 			return tbSimEntry{}, err

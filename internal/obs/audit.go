@@ -1,0 +1,109 @@
+// Decision-audit stream: an append-only log of structured records
+// explaining the pipeline's online decisions — every PKP stop (cycle,
+// rolling-mean drift, wave state, projection inputs) and every PKS sweep
+// step (K tried, projected error, chosen K). The stream exists because an
+// online truncation policy is only trustworthy if its runtime decisions
+// are inspectable after the fact (cf. Pac-Sim); records are plain data so
+// tests can re-derive a decision from what was logged.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// maxAuditRecords bounds audit memory on very large studies; records
+// beyond the cap are counted and dropped.
+const maxAuditRecords = 1 << 20
+
+// AuditRecord is one logged decision. Fields holds the numeric evidence
+// the decision was made on; encoding/json sorts map keys, so serialized
+// records are deterministic.
+type AuditRecord struct {
+	Seq       int64              `json:"seq"`
+	Component string             `json:"component"` // "pkp", "pks", ...
+	Event     string             `json:"event"`     // "stop", "wave-hold", "projection", "sweep-step", "selected"
+	Subject   string             `json:"subject"`   // workload or kernel the decision is about
+	Cycle     int64              `json:"cycle,omitempty"`
+	Fields    map[string]float64 `json:"fields,omitempty"`
+}
+
+// Audit collects decision records. All methods are safe for concurrent
+// use; a nil *Audit discards everything.
+type Audit struct {
+	mu      sync.Mutex
+	seq     int64
+	recs    []AuditRecord
+	dropped int64
+}
+
+// NewAudit returns an empty audit stream.
+func NewAudit() *Audit { return &Audit{} }
+
+// Record appends one decision. The fields map is stored as-is and must
+// not be mutated by the caller afterwards.
+func (a *Audit) Record(component, event, subject string, cycle int64, fields map[string]float64) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	if len(a.recs) >= maxAuditRecords {
+		a.dropped++
+		a.mu.Unlock()
+		return
+	}
+	a.seq++
+	a.recs = append(a.recs, AuditRecord{
+		Seq: a.seq, Component: component, Event: event,
+		Subject: subject, Cycle: cycle, Fields: fields,
+	})
+	a.mu.Unlock()
+}
+
+// Records returns a copy of every record in append order.
+func (a *Audit) Records() []AuditRecord {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]AuditRecord(nil), a.recs...)
+}
+
+// Filter returns records matching the given component and event; empty
+// strings match anything.
+func (a *Audit) Filter(component, event string) []AuditRecord {
+	var out []AuditRecord
+	for _, r := range a.Records() {
+		if (component == "" || r.Component == component) && (event == "" || r.Event == event) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Dropped returns how many records were discarded at the memory cap.
+func (a *Audit) Dropped() int64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dropped
+}
+
+// WriteNDJSON renders the stream as newline-delimited JSON, one record
+// per line.
+func (a *Audit) WriteNDJSON(w io.Writer) error {
+	for _, r := range a.Records() {
+		b, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}

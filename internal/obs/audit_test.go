@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAuditRecordAndFilter(t *testing.T) {
+	a := NewAudit()
+	a.Record("pkp", "stop", "k1", 100, map[string]float64{"cv": 0.1})
+	a.Record("pks", "sweep-step", "w1", 0, map[string]float64{"k": 4})
+	a.Record("pkp", "projection", "k1", 100, nil)
+
+	recs := a.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != int64(i+1) {
+			t.Errorf("record %d has seq %d, want %d", i, r.Seq, i+1)
+		}
+	}
+	if got := a.Filter("pkp", ""); len(got) != 2 {
+		t.Errorf("Filter(pkp,) = %d records, want 2", len(got))
+	}
+	if got := a.Filter("", "stop"); len(got) != 1 || got[0].Subject != "k1" {
+		t.Errorf("Filter(,stop) = %+v, want the one k1 stop", got)
+	}
+	if got := a.Filter("", ""); len(got) != 3 {
+		t.Errorf("Filter(,) = %d records, want all 3", len(got))
+	}
+	if a.Dropped() != 0 {
+		t.Errorf("dropped = %d, want 0", a.Dropped())
+	}
+}
+
+// TestAuditNDJSONGolden pins the serialized record layout, including the
+// omitted zero cycle and encoding/json's sorted field keys.
+func TestAuditNDJSONGolden(t *testing.T) {
+	a := NewAudit()
+	a.Record("pkp", "stop", "k1", 42, map[string]float64{"b": 2.5, "a": 1})
+	a.Record("pks", "selected", "w1", 0, nil)
+
+	var buf bytes.Buffer
+	if err := a.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`{"seq":1,"component":"pkp","event":"stop","subject":"k1","cycle":42,"fields":{"a":1,"b":2.5}}`,
+		`{"seq":2,"component":"pks","event":"selected","subject":"w1"}`,
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("NDJSON mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestAuditNilInert(t *testing.T) {
+	var a *Audit
+	a.Record("c", "e", "s", 1, nil)
+	if a.Records() != nil || a.Filter("", "") != nil || a.Dropped() != 0 {
+		t.Error("nil audit returned data")
+	}
+	var buf bytes.Buffer
+	if err := a.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil audit wrote %q", buf.String())
+	}
+}
+
+// TestAuditConcurrent records from many goroutines; under -race this is
+// the audit stream's thread-safety check. Sequence numbers must come out
+// dense and unique.
+func TestAuditConcurrent(t *testing.T) {
+	a := NewAudit()
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				a.Record("pkp", "stop", "k", int64(i), nil)
+			}
+		}()
+	}
+	wg.Wait()
+	recs := a.Records()
+	if len(recs) != workers*perWorker {
+		t.Fatalf("got %d records, want %d", len(recs), workers*perWorker)
+	}
+	seen := make(map[int64]bool, len(recs))
+	for _, r := range recs {
+		if r.Seq < 1 || r.Seq > int64(len(recs)) || seen[r.Seq] {
+			t.Fatalf("bad or duplicate seq %d", r.Seq)
+		}
+		seen[r.Seq] = true
+	}
+}

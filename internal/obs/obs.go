@@ -1,0 +1,281 @@
+// Package obs is the PKA stack's zero-dependency observability layer:
+// a metrics registry (counters, gauges, fixed-bucket histograms with
+// Prometheus text exposition and JSON snapshot), span tracing exported as
+// Chrome trace_event JSON, and a structured decision-audit stream for the
+// PKP/PKS online policies.
+//
+// The layer is strictly observe-only: nothing in it feeds back into the
+// pipeline, so enabling every output must leave study results
+// byte-identical (the golden determinism tests pin this). It is also
+// hot-loop-free by construction — the simulator aggregates telemetry once
+// per kernel, never per cycle, and every instrument is nil-safe so
+// disabled telemetry costs a nil check at kernel granularity.
+package obs
+
+import (
+	"io"
+	"time"
+)
+
+// Observer bundles the three telemetry facets. Any field may be nil to
+// disable that facet; a nil *Observer disables everything. All helper
+// accessors are nil-safe.
+type Observer struct {
+	Metrics *Registry
+	Tracer  *Tracer
+	Audit   *Audit
+
+	sim  *SimMetrics
+	pkp  *PKPMetrics
+	pks  *PKSMetrics
+	pool *PoolMetrics
+}
+
+// NewObserver returns an Observer with all three facets enabled on the
+// real clock.
+func NewObserver() *Observer { return NewObserverAt(time.Now) }
+
+// NewObserverAt is NewObserver with an injectable clock for the tracer.
+func NewObserverAt(now func() time.Time) *Observer {
+	o := &Observer{Metrics: NewRegistry(), Tracer: NewTracerAt(now), Audit: NewAudit()}
+	// Register every metric family eagerly so expositions always contain
+	// them, populated or not.
+	o.SimMetrics()
+	o.PKPMetrics()
+	o.PKSMetrics()
+	o.PoolMetrics()
+	return o
+}
+
+// StartSpan opens a span named name on the given track, or returns an
+// inert nil span when tracing is disabled.
+func (o *Observer) StartSpan(track, name string, args ...Arg) *Span {
+	if o == nil || o.Tracer == nil {
+		return nil
+	}
+	return o.Tracer.Track(track).Start(name, args...)
+}
+
+// WriteChromeTrace renders the tracer's spans plus the audit stream
+// (as instant events on per-component "audit:" tracks) in Chrome
+// trace_event JSON.
+func (o *Observer) WriteChromeTrace(w io.Writer) error {
+	if o == nil || o.Tracer == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	if o.Audit != nil {
+		for _, r := range o.Audit.Records() {
+			tk := o.Tracer.Track("audit:" + r.Component)
+			args := make([]Arg, 0, len(r.Fields)+3)
+			args = append(args, Arg{Key: "subject", Val: r.Subject}, Arg{Key: "seq", Val: r.Seq})
+			if r.Cycle != 0 {
+				args = append(args, Arg{Key: "cycle", Val: r.Cycle})
+			}
+			for _, k := range sortedFieldKeys(r.Fields) {
+				args = append(args, Arg{Key: k, Val: r.Fields[k]})
+			}
+			tk.Instant(r.Component+":"+r.Event, args...)
+		}
+	}
+	return o.Tracer.WriteChromeTrace(w)
+}
+
+func sortedFieldKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// Insertion sort: field maps are tiny.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// --- Component metric bundles -------------------------------------------
+//
+// Bundles pre-resolve their instruments once so instrumented code pays a
+// field load, not a registry lookup, when it reports.
+
+// SimMetrics is the cycle-level simulator's metric family. Counters are
+// updated once per kernel at kernel end — never inside the cycle loop.
+type SimMetrics struct {
+	Kernels      *Counter
+	StoppedEarly *Counter
+	Cycles       *Counter
+	WarpInstrs   *Counter
+	L1Hits       *Counter
+	L1Misses     *Counter
+	L2Hits       *Counter
+	L2Misses     *Counter
+	DRAMBytes    *Counter
+	KernelCycles *Histogram
+}
+
+// SimMetrics lazily builds (and then reuses) the simulator bundle.
+func (o *Observer) SimMetrics() *SimMetrics {
+	if o == nil || o.Metrics == nil {
+		return nil
+	}
+	if o.sim == nil {
+		r := o.Metrics
+		o.sim = &SimMetrics{
+			Kernels:      r.Counter("pka_sim_kernels_total", "kernel launches simulated"),
+			StoppedEarly: r.Counter("pka_sim_kernels_stopped_early_total", "kernels truncated by a controller or cycle cap"),
+			Cycles:       r.Counter("pka_sim_cycles_total", "simulated cycles across all kernels"),
+			WarpInstrs:   r.Counter("pka_sim_warp_instrs_total", "warp instructions issued across all kernels"),
+			L1Hits:       r.Counter("pka_sim_l1_hits_total", "L1 cache hits"),
+			L1Misses:     r.Counter("pka_sim_l1_misses_total", "L1 cache misses"),
+			L2Hits:       r.Counter("pka_sim_l2_hits_total", "L2 cache hits"),
+			L2Misses:     r.Counter("pka_sim_l2_misses_total", "L2 cache misses"),
+			DRAMBytes:    r.Counter("pka_sim_dram_bytes_total", "bytes moved through the DRAM channel"),
+			KernelCycles: r.Histogram("pka_sim_kernel_cycles", "per-kernel simulated cycle counts",
+				[]float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8}),
+		}
+	}
+	return o.sim
+}
+
+// PKPMetrics is Principal Kernel Projection's metric family.
+type PKPMetrics struct {
+	Stops     *Counter
+	WaveHolds *Counter
+	StopCycle *Histogram
+	DriftCV   *Histogram
+}
+
+// PKPMetrics lazily builds (and then reuses) the projector bundle.
+func (o *Observer) PKPMetrics() *PKPMetrics {
+	if o == nil || o.Metrics == nil {
+		return nil
+	}
+	if o.pkp == nil {
+		r := o.Metrics
+		o.pkp = &PKPMetrics{
+			Stops:     r.Counter("pka_pkp_stops_total", "stability stop decisions fired"),
+			WaveHolds: r.Counter("pka_pkp_wave_holds_total", "stable signals held back by the wave constraint"),
+			StopCycle: r.Histogram("pka_pkp_stop_cycle", "cycle at which stability fired",
+				[]float64{1e3, 1e4, 1e5, 1e6, 1e7}),
+			DriftCV: r.Histogram("pka_pkp_stop_drift_cv", "rolling-mean drift CV at the stop decision",
+				[]float64{0.01, 0.025, 0.05, 0.1, 0.25}),
+		}
+	}
+	return o.pkp
+}
+
+// PKSMetrics is Principal Kernel Selection's metric family.
+type PKSMetrics struct {
+	Selections *Counter
+	SweepSteps *Counter
+	ChosenK    *Histogram
+	ErrorPct   *Histogram
+}
+
+// PKSMetrics lazily builds (and then reuses) the selection bundle.
+func (o *Observer) PKSMetrics() *PKSMetrics {
+	if o == nil || o.Metrics == nil {
+		return nil
+	}
+	if o.pks == nil {
+		r := o.Metrics
+		o.pks = &PKSMetrics{
+			Selections: r.Counter("pka_pks_selections_total", "selection runs completed"),
+			SweepSteps: r.Counter("pka_pks_sweep_steps_total", "K values tried across all sweeps"),
+			ChosenK: r.Histogram("pka_pks_chosen_k", "K chosen per selection",
+				[]float64{1, 2, 4, 8, 16, 20}),
+			ErrorPct: r.Histogram("pka_pks_selection_error_pct", "selection error at the chosen K",
+				[]float64{1, 2, 5, 10, 25}),
+		}
+	}
+	return o.pks
+}
+
+// PoolMetrics reports worker-pool occupancy. It structurally implements
+// internal/parallel's Observer interface; its methods are nil-safe so a
+// typed-nil can be installed harmlessly.
+type PoolMetrics struct {
+	Tasks   *Counter
+	Queued  *Gauge
+	Active  *Gauge
+	MaxSeen *Gauge
+}
+
+// PoolMetrics lazily builds (and then reuses) the pool bundle.
+func (o *Observer) PoolMetrics() *PoolMetrics {
+	if o == nil || o.Metrics == nil {
+		return nil
+	}
+	if o.pool == nil {
+		r := o.Metrics
+		o.pool = &PoolMetrics{
+			Tasks:   r.Counter("pka_pool_tasks_total", "tasks completed by worker pools"),
+			Queued:  r.Gauge("pka_pool_queue_depth", "tasks submitted but not yet running"),
+			Active:  r.Gauge("pka_pool_active_workers", "tasks currently running"),
+			MaxSeen: r.Gauge("pka_pool_active_workers_max", "high-water mark of concurrently running tasks"),
+		}
+	}
+	return o.pool
+}
+
+// TaskQueued records a task waiting for a worker slot.
+func (m *PoolMetrics) TaskQueued() {
+	if m == nil {
+		return
+	}
+	m.Queued.Add(1)
+}
+
+// TaskStarted records a task acquiring a worker slot.
+func (m *PoolMetrics) TaskStarted() {
+	if m == nil {
+		return
+	}
+	m.Queued.Add(-1)
+	m.Active.Add(1)
+	// Racy read-then-write high-water mark: good enough for a debug gauge.
+	if a := m.Active.Value(); a > m.MaxSeen.Value() {
+		m.MaxSeen.Set(a)
+	}
+}
+
+// TaskDone records a task finishing.
+func (m *PoolMetrics) TaskDone() {
+	if m == nil {
+		return
+	}
+	m.Active.Add(-1)
+	m.Tasks.Add(1)
+}
+
+// --- Simulator hookup ----------------------------------------------------
+
+// SimObs is what one Simulator reports into: a track for per-kernel spans
+// (one Simulator is single-threaded, so its spans never overlap) and the
+// shared sim metric family. A nil *SimObs disables both.
+type SimObs struct {
+	Track   *Track
+	Metrics *SimMetrics
+}
+
+// SimObs builds a simulator hookup whose spans land on the named track.
+func (o *Observer) SimObs(track string) *SimObs {
+	if o == nil {
+		return nil
+	}
+	var tk *Track
+	if o.Tracer != nil {
+		tk = o.Tracer.Track(track)
+	}
+	return &SimObs{Track: tk, Metrics: o.SimMetrics()}
+}
+
+// StartKernel opens the per-kernel span; safe on a nil receiver.
+func (s *SimObs) StartKernel(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.Track.Start(name)
+}

@@ -13,7 +13,41 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 )
+
+// Observer receives worker-occupancy events from every Pool and Map in
+// the process: queue depth (submitted but not running) and active-worker
+// transitions. Implementations must be cheap and concurrency-safe; they
+// observe scheduling only and can never influence results.
+type Observer interface {
+	TaskQueued()  // task submitted, waiting for a worker slot
+	TaskStarted() // worker slot acquired
+	TaskDone()    // task finished (success, error, or contained panic)
+}
+
+// observerRef wraps the interface so it can live in an atomic.Pointer.
+type observerRef struct{ o Observer }
+
+var globalObserver atomic.Pointer[observerRef]
+
+// SetObserver installs the process-wide pool observer (nil uninstalls).
+// Typically wired once at CLI startup from internal/obs; the default is
+// no observation.
+func SetObserver(o Observer) {
+	if o == nil {
+		globalObserver.Store(nil)
+		return
+	}
+	globalObserver.Store(&observerRef{o: o})
+}
+
+func observer() Observer {
+	if ref := globalObserver.Load(); ref != nil {
+		return ref.o
+	}
+	return nil
+}
 
 // Workers normalizes a parallelism knob: n > 0 is used as-is, anything
 // else falls back to GOMAXPROCS (the pool's default width).
@@ -65,10 +99,17 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 	}
 	results := make([]R, n)
 	errs := make([]error, n)
+	obs := observer()
 	if w == 1 {
 		for i := range items {
 			i := i
+			if obs != nil {
+				obs.TaskStarted()
+			}
 			results[i], errs[i] = protect(func() (R, error) { return fn(i, items[i]) })
+			if obs != nil {
+				obs.TaskDone()
+			}
 		}
 	} else {
 		idx := make(chan int)
@@ -79,11 +120,20 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 				defer wg.Done()
 				for i := range idx {
 					i := i
+					if obs != nil {
+						obs.TaskStarted()
+					}
 					results[i], errs[i] = protect(func() (R, error) { return fn(i, items[i]) })
+					if obs != nil {
+						obs.TaskDone()
+					}
 				}
 			}()
 		}
 		for i := 0; i < n; i++ {
+			if obs != nil {
+				obs.TaskQueued()
+			}
 			idx <- i
 		}
 		close(idx)
@@ -119,12 +169,22 @@ func (p *Pool) Size() int { return cap(p.sem) }
 // Go submits a task. It blocks until a worker slot is free, then runs the
 // task on its own goroutine; panics are contained as *PanicError.
 func (p *Pool) Go(fn func() error) {
+	obs := observer()
+	if obs != nil {
+		obs.TaskQueued()
+	}
 	p.sem <- struct{}{}
+	if obs != nil {
+		obs.TaskStarted()
+	}
 	p.wg.Add(1)
 	go func() {
 		defer func() {
 			<-p.sem
 			p.wg.Done()
+			if obs != nil {
+				obs.TaskDone()
+			}
 		}()
 		if _, err := protect(func() (struct{}, error) { return struct{}{}, fn() }); err != nil {
 			p.mu.Lock()

@@ -1,0 +1,86 @@
+package pkp
+
+import (
+	"testing"
+
+	"pka/internal/gpu"
+	"pka/internal/obs"
+	"pka/internal/sim"
+)
+
+// TestAuditRecordsReproduceStopCondition runs a kernel that reliably
+// stabilizes and checks that the decision-audit stream carries enough
+// evidence to re-derive the stop from the log alone: the recorded drift CV
+// actually satisfies the recorded threshold, the wave constraint was met
+// in the recorded wave state, and the stop cycle matches the projector.
+func TestAuditRecordsReproduceStopCondition(t *testing.T) {
+	audit := obs.NewAudit()
+	pm := obs.NewObserver().PKPMetrics()
+	p := New(Options{Audit: audit, AuditSubject: "steady", Metrics: pm})
+	k := steadyKernel(6400)
+	res, err := sim.New(gpu.VoltaV100()).RunKernel(&k, sim.Options{Controller: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Stable() || !res.StoppedEarly {
+		t.Fatalf("steady kernel never stabilized (completed %d/%d)", res.BlocksCompleted, res.BlocksTotal)
+	}
+
+	stops := audit.Filter("pkp", "stop")
+	if len(stops) != 1 {
+		t.Fatalf("got %d stop records, want 1", len(stops))
+	}
+	r := stops[0]
+	if r.Subject != "steady" {
+		t.Errorf("stop subject = %q, want steady", r.Subject)
+	}
+	if r.Cycle != p.StableAt() {
+		t.Errorf("stop record cycle %d != StableAt %d", r.Cycle, p.StableAt())
+	}
+	// The stop condition, re-derived from the record's own fields.
+	if r.Fields["threshold"] != DefaultThreshold {
+		t.Errorf("recorded threshold %v, want default %v", r.Fields["threshold"], DefaultThreshold)
+	}
+	if cv := r.Fields["drift_cv"]; cv < 0 || cv >= r.Fields["threshold"] {
+		t.Errorf("recorded drift CV %v does not satisfy recorded threshold %v", cv, r.Fields["threshold"])
+	}
+	// 6400 blocks is >= 2 waves, so the wave constraint required the second
+	// wave to have completed before the stop fired.
+	if ws := r.Fields["wave_size"]; r.Fields["blocks_total"] >= 2*ws {
+		if r.Fields["wave2_at"] < 0 || r.Fields["blocks_completed"] < 2*ws {
+			t.Errorf("stop fired before second wave: wave2_at=%v blocks_completed=%v wave_size=%v",
+				r.Fields["wave2_at"], r.Fields["blocks_completed"], ws)
+		}
+	} else {
+		t.Fatalf("test kernel not >= 2 waves deep (total=%v wave=%v)", r.Fields["blocks_total"], ws)
+	}
+
+	// The projection record ties the extrapolation back to the same stop.
+	proj := p.Projection(res)
+	projRecs := audit.Filter("pkp", "projection")
+	if len(projRecs) != 1 {
+		t.Fatalf("got %d projection records, want 1", len(projRecs))
+	}
+	pf := projRecs[0].Fields
+	if pf["stable"] != 1 || pf["truncated"] != 1 {
+		t.Errorf("projection record stable=%v truncated=%v, want 1/1", pf["stable"], pf["truncated"])
+	}
+	if pf["stable_at"] != float64(p.StableAt()) {
+		t.Errorf("projection stable_at %v != StableAt %d", pf["stable_at"], p.StableAt())
+	}
+	if pf["simulated_cycles"] != float64(res.Cycles) || pf["projected_cycles"] != float64(proj.Cycles) {
+		t.Errorf("projection record cycles %v/%v != result %d/%d",
+			pf["simulated_cycles"], pf["projected_cycles"], res.Cycles, proj.Cycles)
+	}
+	if pf["projected_cycles"] <= pf["simulated_cycles"] {
+		t.Error("projection record shows no extrapolated work")
+	}
+
+	// Metrics moved in lockstep with the audit stream.
+	if pm.Stops.Value() != 1 {
+		t.Errorf("stops counter = %d, want 1", pm.Stops.Value())
+	}
+	if pm.StopCycle.Count() != 1 || pm.DriftCV.Count() != 1 {
+		t.Errorf("stop histograms count %d/%d, want 1/1", pm.StopCycle.Count(), pm.DriftCV.Count())
+	}
+}

@@ -30,6 +30,7 @@
 package pkp
 
 import (
+	"pka/internal/obs"
 	"pka/internal/sim"
 	"pka/internal/stats"
 )
@@ -58,6 +59,19 @@ type Options struct {
 	// thread blocks retire before stopping (ablation; the paper argues
 	// the constraint is needed to capture contention).
 	DisableWaveConstraint bool
+
+	// Audit, when non-nil, receives a decision record for the first
+	// wave-constraint hold, the stop decision itself (cycle, rolling-mean
+	// drift, wave state), and the projection computed from the truncated
+	// run. Records are emitted at most a handful of times per kernel —
+	// never on the per-cycle path — so auditing cannot slow the detector.
+	Audit *obs.Audit
+	// AuditSubject labels this projector's audit records (typically the
+	// kernel name).
+	AuditSubject string
+	// Metrics, when non-nil, receives stop counters and stop-cycle /
+	// drift-CV histograms.
+	Metrics *obs.PKPMetrics
 }
 
 func (o Options) filled() Options {
@@ -83,8 +97,9 @@ type Projector struct {
 	// thread blocks completed (-1 = not yet).
 	wave1At, wave2At int64
 
-	stableAt  int64
-	sawStable bool
+	stableAt   int64
+	sawStable  bool
+	waveHeldAt int64 // first cycle a stable signal was held by the wave constraint (-1 = never)
 }
 
 // New returns a Projector with the given options.
@@ -95,12 +110,13 @@ func New(opts Options) *Projector {
 		buckets = 2
 	}
 	return &Projector{
-		opts:     o,
-		rolling:  stats.NewRolling(buckets),
-		drift:    stats.NewRolling(driftSpan),
-		stableAt: -1,
-		wave1At:  -1,
-		wave2At:  -1,
+		opts:       o,
+		rolling:    stats.NewRolling(buckets),
+		drift:      stats.NewRolling(driftSpan),
+		stableAt:   -1,
+		wave1At:    -1,
+		wave2At:    -1,
+		waveHeldAt: -1,
 	}
 }
 
@@ -139,17 +155,52 @@ func (p *Projector) Tick(t *sim.Telemetry) bool {
 	// for the second wave so the completion rate can be measured free of
 	// the cold-start wave.
 	if !p.opts.DisableWaveConstraint && t.BlocksTotal > t.WaveSize {
+		held := false
 		if t.BlocksTotal >= 2*t.WaveSize {
-			if p.wave2At < 0 {
-				return false
+			held = p.wave2At < 0
+		} else {
+			held = p.wave1At < 0
+		}
+		if held {
+			if p.waveHeldAt < 0 {
+				p.waveHeldAt = t.Cycle
+				if m := p.opts.Metrics; m != nil {
+					m.WaveHolds.Inc()
+				}
+				p.audit("wave-hold", t)
 			}
-		} else if p.wave1At < 0 {
 			return false
 		}
 	}
 	p.sawStable = true
 	p.stableAt = t.Cycle
+	if m := p.opts.Metrics; m != nil {
+		m.Stops.Inc()
+		m.StopCycle.Observe(float64(t.Cycle))
+		m.DriftCV.Observe(p.drift.CoefVar())
+	}
+	p.audit("stop", t)
 	return true
+}
+
+// audit logs one decision record carrying everything the stop condition
+// was evaluated on, so the decision can be re-derived from the log alone.
+func (p *Projector) audit(event string, t *sim.Telemetry) {
+	if p.opts.Audit == nil {
+		return
+	}
+	p.opts.Audit.Record("pkp", event, p.opts.AuditSubject, t.Cycle, map[string]float64{
+		"drift_cv":         p.drift.CoefVar(),
+		"threshold":        p.opts.Threshold,
+		"window_cycles":    float64(p.opts.Window),
+		"rolling_mean_ipc": p.rolling.Mean(),
+		"blocks_completed": float64(t.BlocksCompleted),
+		"blocks_total":     float64(t.BlocksTotal),
+		"wave_size":        float64(t.WaveSize),
+		"wave1_at":         float64(p.wave1At),
+		"wave2_at":         float64(p.wave2At),
+		"warp_instrs":      float64(t.WarpInstrs),
+	})
 }
 
 // Stable reports whether stability was detected before kernel completion.
@@ -185,10 +236,8 @@ type Projection struct {
 // otherwise it degrades like Project.
 func (p *Projector) Projection(res *sim.KernelResult) Projection {
 	pr := baseProjection(res)
-	if !pr.Truncated {
-		return pr
-	}
-	if p.wave1At >= 0 && p.wave2At > p.wave1At && res.WaveSize > 0 {
+	waveGap := pr.Truncated && p.wave1At >= 0 && p.wave2At > p.wave1At && res.WaveSize > 0
+	if waveGap {
 		perBlock := float64(p.wave2At-p.wave1At) / float64(res.WaveSize)
 		unfinished := res.BlocksTotal - res.BlocksCompleted
 		pr.Cycles = res.Cycles + int64(perBlock*float64(unfinished))
@@ -198,6 +247,35 @@ func (p *Projector) Projection(res *sim.KernelResult) Projection {
 		if pr.Cycles > 0 {
 			pr.IPC = pr.ThreadInstrs / float64(pr.Cycles)
 		}
+	}
+	if p.opts.Audit != nil {
+		truncated, wg, stable := 0.0, 0.0, 0.0
+		if pr.Truncated {
+			truncated = 1
+		}
+		if waveGap {
+			wg = 1
+		}
+		if p.sawStable {
+			stable = 1
+		}
+		// The record carries the detector's full stop condition (drift CV
+		// versus threshold, stability verdict, stop cycle) alongside the
+		// projection, so stop and no-stop decisions alike can be re-derived
+		// from the log.
+		p.opts.Audit.Record("pkp", "projection", p.opts.AuditSubject, res.Cycles, map[string]float64{
+			"truncated":        truncated,
+			"wave_gap_rate":    wg,
+			"stable":           stable,
+			"stable_at":        float64(p.stableAt),
+			"drift_cv":         p.drift.CoefVar(),
+			"threshold":        p.opts.Threshold,
+			"simulated_cycles": float64(pr.SimulatedCycles),
+			"projected_cycles": float64(pr.Cycles),
+			"projected_ipc":    pr.IPC,
+			"blocks_completed": float64(res.BlocksCompleted),
+			"blocks_total":     float64(res.BlocksTotal),
+		})
 	}
 	return pr
 }

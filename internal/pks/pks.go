@@ -22,6 +22,7 @@ import (
 	"pka/internal/cluster"
 	"pka/internal/gpu"
 	"pka/internal/linalg"
+	"pka/internal/obs"
 	"pka/internal/profiler"
 	"pka/internal/silicon"
 	"pka/internal/stats"
@@ -81,6 +82,18 @@ type Options struct {
 	ClusterSampleMax int
 	// Seed drives k-means++ and the random representative policy.
 	Seed uint64
+
+	// Audit, when non-nil, receives one "sweep-step" decision record per
+	// K tried (K, projected error, target) and a "selected" record for
+	// the chosen K — the inspectable trail of the K sweep.
+	Audit *obs.Audit
+	// Metrics, when non-nil, receives selection counters and chosen-K /
+	// selection-error histograms.
+	Metrics *obs.PKSMetrics
+
+	// auditSubject labels audit records; Select fills it from the
+	// workload name.
+	auditSubject string
 }
 
 func (o Options) filled() Options {
@@ -157,6 +170,7 @@ type Selection struct {
 // Select runs Principal Kernel Selection for the workload on the device.
 func Select(dev gpu.Device, w *workload.Workload, opts Options) (*Selection, error) {
 	o := opts.filled()
+	o.auditSubject = w.FullName()
 	sel := &Selection{Workload: w.FullName(), Device: dev.Name, TotalKernels: w.N}
 
 	// Pass 1: detailed profiling until the budget (or cap) is exhausted.
@@ -212,6 +226,25 @@ func Select(dev gpu.Device, w *workload.Workload, opts Options) (*Selection, err
 	sel.SelectionErrorPct = stats.AbsPctErr(float64(sel.ProjectedCycles), float64(sel.SiliconTotalCycles))
 	if repCycles > 0 {
 		sel.SiliconSpeedup = float64(sel.SiliconTotalCycles) / float64(repCycles)
+	}
+	if m := o.Metrics; m != nil {
+		m.Selections.Inc()
+		m.ChosenK.Observe(float64(sel.K))
+		m.ErrorPct.Observe(sel.SelectionErrorPct)
+	}
+	if o.Audit != nil {
+		twoLevel := 0.0
+		if sel.TwoLevel {
+			twoLevel = 1
+		}
+		o.Audit.Record("pks", "selected", o.auditSubject, 0, map[string]float64{
+			"k":                   float64(sel.K),
+			"target_error_pct":    o.TargetErrorPct,
+			"selection_error_pct": sel.SelectionErrorPct,
+			"detailed_kernels":    float64(sel.DetailedKernels),
+			"total_kernels":       float64(sel.TotalKernels),
+			"two_level":           twoLevel,
+		})
 	}
 	return sel, nil
 }
@@ -272,10 +305,27 @@ func clusterDetailed(detailed []profiler.DetailedRecord, o Options) ([]Group, []
 		}
 		errPct := projectionError(points, res, detailed, sample, totalSample, o, rng)
 		sweep = append(sweep, errPct)
+		if m := o.Metrics; m != nil {
+			m.SweepSteps.Inc()
+		}
+		underTarget := errPct <= o.TargetErrorPct
+		if o.Audit != nil {
+			under := 0.0
+			if underTarget {
+				under = 1
+			}
+			o.Audit.Record("pks", "sweep-step", o.auditSubject, 0, map[string]float64{
+				"k":                float64(k),
+				"error_pct":        errPct,
+				"target_error_pct": o.TargetErrorPct,
+				"under_target":     under,
+				"sampled_kernels":  float64(len(points)),
+			})
+		}
 		if errPct < bestErr {
 			bestErr, best = errPct, res
 		}
-		if errPct <= o.TargetErrorPct {
+		if underTarget {
 			best = res
 			break
 		}

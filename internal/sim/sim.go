@@ -17,6 +17,7 @@ import (
 
 	"pka/internal/gpu"
 	"pka/internal/mem"
+	"pka/internal/obs"
 	"pka/internal/trace"
 )
 
@@ -94,6 +95,11 @@ type Options struct {
 	TraceEvery int64
 	// MaxCycles caps runaway kernels. Zero applies DefaultMaxCycles.
 	MaxCycles int64
+	// Obs, when non-nil, receives one wall-clock span and one batch of
+	// counter updates per kernel, emitted at kernel end. The cycle loop
+	// itself is never touched, so enabling telemetry cannot perturb
+	// determinism or the loop's zero-allocation guarantee.
+	Obs *obs.SimObs
 }
 
 // DefaultMaxCycles bounds a single kernel simulation.
@@ -228,6 +234,7 @@ func (s *Simulator) RunKernel(k *trace.KernelDesc, opts Options) (*KernelResult,
 	if maxCycles <= 0 {
 		maxCycles = DefaultMaxCycles
 	}
+	span := opts.Obs.StartKernel(k.Name)
 
 	pattern := buildPattern(k)
 	wpb := k.WarpsPerBlock()
@@ -474,7 +481,44 @@ func (s *Simulator) RunKernel(k *trace.KernelDesc, opts Options) (*KernelResult,
 	if now > 0 {
 		res.IPC = threadInstrs / float64(now)
 	}
+	if opts.Obs != nil {
+		s.reportKernel(opts.Obs, span, res)
+	}
 	return res, nil
+}
+
+// reportKernel emits the per-kernel telemetry batch: the kernel span
+// (annotated with the headline statistics) and the sim counter family.
+// It runs once per kernel, after the cycle loop has fully retired.
+func (s *Simulator) reportKernel(o *obs.SimObs, span *obs.Span, res *KernelResult) {
+	span.Arg("cycles", res.Cycles).
+		Arg("warp_instrs", res.WarpInstrs).
+		Arg("ipc", res.IPC).
+		Arg("blocks", res.BlocksCompleted).
+		Arg("blocks_total", res.BlocksTotal).
+		Arg("stopped_early", res.StoppedEarly).
+		End()
+	m := o.Metrics
+	if m == nil {
+		return
+	}
+	m.Kernels.Inc()
+	if res.StoppedEarly {
+		m.StoppedEarly.Inc()
+	}
+	m.Cycles.Add(res.Cycles)
+	m.WarpInstrs.Add(res.WarpInstrs)
+	var l1Hits, l1Misses int64
+	for _, c := range s.l1 {
+		l1Hits += c.Hits()
+		l1Misses += c.Misses()
+	}
+	m.L1Hits.Add(l1Hits)
+	m.L1Misses.Add(l1Misses)
+	m.L2Hits.Add(s.l2.Hits())
+	m.L2Misses.Add(s.l2.Misses())
+	m.DRAMBytes.Add(s.dram.BytesMoved())
+	m.KernelCycles.Observe(float64(res.Cycles))
 }
 
 // memAccess performs one warp-level global access touching nSectors
