@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race bench bench-all ci
+.PHONY: all vet build test race bench bench-all bench-check ci
 
 all: build
 
@@ -40,4 +40,14 @@ bench:
 bench-all:
 	$(GO) test -bench=. -benchtime=1x .
 
-ci: vet build test race
+# Regression smoke: re-run the two hot-path benchmarks and fail if either
+# is more than 25% slower (ns/op) than the committed BENCH_study.json.
+# Short benchtime keeps this cheap enough for CI; the generous tolerance
+# absorbs runner noise while still catching real algorithmic regressions.
+bench-check:
+	@{ $(GO) test -run NONE -bench 'SimulatorThroughput' -benchtime=5x . ; \
+	   $(GO) test -run NONE -bench 'KMeansSweep' -benchtime=5x . ; } \
+	| $(GO) run ./cmd/benchjson -baseline BENCH_study.json \
+	    -check SimulatorThroughput,KMeansSweep -tolerance 25
+
+ci: vet build test race bench-check

@@ -18,6 +18,7 @@ package pka
 import (
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -256,10 +257,12 @@ func BenchmarkAblationClassifier(b *testing.B) {
 
 // BenchmarkStudyParallel measures the study engine's fan-out: the same
 // multi-workload Figure-6 sweep generated serially (Parallelism=1) and
-// with four workers, each on a fresh unmemoized Study. The speedup
-// sub-bench reports serial-time / parallel-time per iteration; on a
-// single-core machine it sits near 1x, approaching 4x with four cores
-// (the sweep is embarrassingly parallel across workloads).
+// with four workers, each on a fresh unmemoized Study. Four study workers
+// only help when the runtime can actually run them on distinct processors,
+// so the p=4 and speedup sub-benches pin GOMAXPROCS to the worker count;
+// the speedup sub-bench (serial-time / parallel-time per iteration) is
+// skipped outright on a single-CPU machine, where it could only record a
+// meaningless ~1x.
 func BenchmarkStudyParallel(b *testing.B) {
 	var ws []*workload.Workload
 	for _, n := range []string{
@@ -288,11 +291,16 @@ func BenchmarkStudyParallel(b *testing.B) {
 		}
 	})
 	b.Run("p=4", func(b *testing.B) {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
 		for i := 0; i < b.N; i++ {
 			sweep(4)
 		}
 	})
 	b.Run("speedup", func(b *testing.B) {
+		if runtime.NumCPU() < 2 {
+			b.Skip("speedup needs >= 2 CPUs; a single-CPU measurement would be meaningless")
+		}
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
 		for i := 0; i < b.N; i++ {
 			serial := sweep(1)
 			par := sweep(4)
@@ -348,8 +356,12 @@ func BenchmarkKMeansSweep(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		ds, err := cluster.NewDataset(pts)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for k := 1; k <= 10; k++ {
-			if _, err := cluster.KMeans(pts, k, cluster.KMeansOptions{Seed: uint64(k)}); err != nil {
+			if _, err := ds.KMeans(k, cluster.KMeansOptions{Seed: uint64(k)}); err != nil {
 				b.Fatal(err)
 			}
 		}

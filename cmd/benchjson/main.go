@@ -7,6 +7,14 @@
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | benchjson -o BENCH_study.json
+//
+// It can also gate on a committed snapshot: with -baseline and -check it
+// compares the named benchmarks' ns/op against the baseline file and exits
+// nonzero when any regresses by more than -tolerance percent, so CI can
+// catch performance regressions with one short bench run:
+//
+//	go test -bench 'SimulatorThroughput|KMeansSweep' . | \
+//	  benchjson -baseline BENCH_study.json -check SimulatorThroughput,KMeansSweep
 package main
 
 import (
@@ -40,6 +48,9 @@ type Snapshot struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "committed snapshot to compare against")
+	check := flag.String("check", "", "comma-separated benchmark names to gate on ns/op")
+	tolerance := flag.Float64("tolerance", 25, "allowed ns/op regression vs baseline, percent")
 	flag.Parse()
 
 	snap := Snapshot{GoVersion: runtime.Version(), MaxProcs: runtime.GOMAXPROCS(0)}
@@ -62,18 +73,81 @@ func main() {
 		fatal(fmt.Errorf("no benchmark lines on stdin"))
 	}
 
-	buf, err := json.MarshalIndent(snap, "", "  ")
+	if *out != "" || *check == "" {
+		buf, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		buf = append(buf, '\n')
+		if *out == "" {
+			os.Stdout.Write(buf)
+		} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *check != "" {
+		if *baseline == "" {
+			fatal(fmt.Errorf("-check requires -baseline"))
+		}
+		if err := checkRegressions(&snap, *baseline, *check, *tolerance); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// checkRegressions compares the named benchmarks' ns/op in snap against
+// the baseline snapshot, failing when any is more than tolerance percent
+// slower. Names absent from either side are hard errors — a gate that
+// silently skips a renamed benchmark is worse than no gate.
+func checkRegressions(snap *Snapshot, baselinePath, names string, tolerance float64) error {
+	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	buf = append(buf, '\n')
-	if *out == "" {
-		os.Stdout.Write(buf)
-		return
+	var base Snapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", baselinePath, err)
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fatal(err)
+	find := func(bs []Benchmark, name string) *Benchmark {
+		for i := range bs {
+			if bs[i].Name == name {
+				return &bs[i]
+			}
+		}
+		return nil
 	}
+	var failures []string
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		b := find(base.Benchmarks, name)
+		if b == nil {
+			return fmt.Errorf("benchmark %q not in baseline %s", name, baselinePath)
+		}
+		cur := find(snap.Benchmarks, name)
+		if cur == nil {
+			return fmt.Errorf("benchmark %q not in current run", name)
+		}
+		if b.NsPerOp <= 0 || cur.NsPerOp <= 0 {
+			return fmt.Errorf("benchmark %q has no ns/op to compare", name)
+		}
+		limit := b.NsPerOp * (1 + tolerance/100)
+		pct := (cur.NsPerOp/b.NsPerOp - 1) * 100
+		if cur.NsPerOp > limit {
+			failures = append(failures, fmt.Sprintf(
+				"%s regressed %.1f%%: %.0f ns/op vs baseline %.0f ns/op (tolerance %.0f%%)",
+				name, pct, cur.NsPerOp, b.NsPerOp, tolerance))
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %s ok: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%)\n",
+			name, cur.NsPerOp, b.NsPerOp, pct)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("regression gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 // parseBenchLine parses one `BenchmarkName-8   N   V unit   V unit ...`

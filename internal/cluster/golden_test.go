@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"pka/internal/stats"
+)
+
+// kmHash folds a fitted clustering into an FNV-1a hash: every assignment,
+// every center coordinate (bit pattern), sizes, inertia, and iteration
+// count. Pinned constants below were recorded from the reference
+// implementation (the straightforward full-scan Lloyd), so the
+// bound-accelerated implementation must reproduce it bit for bit.
+func kmHash(r *KMeansResult) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xFF
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mix(uint64(r.K))
+	mix(uint64(r.Iterations))
+	mix(math.Float64bits(r.Inertia))
+	for _, a := range r.Assignment {
+		mix(uint64(a))
+	}
+	for _, s := range r.Sizes {
+		mix(uint64(s))
+	}
+	for _, c := range r.Centers {
+		for _, v := range c {
+			mix(math.Float64bits(v))
+		}
+	}
+	return h
+}
+
+// goldenPoints builds the three datasets the pins run over: separated
+// blobs, a uniform cloud (no structure, exercises many Lloyd iterations),
+// and a duplicate-heavy set (exercises ties and the k > distinct clamp).
+func goldenPoints() map[string][][]float64 {
+	blobs, _ := threeBlobs(60, 11)
+	rng := stats.NewRNG(77)
+	uniform := make([][]float64, 400)
+	for i := range uniform {
+		uniform[i] = []float64{rng.Float64() * 50, rng.Float64() * 50, rng.Float64() * 50}
+	}
+	dupes := make([][]float64, 0, 120)
+	for i := 0; i < 120; i++ {
+		v := float64(i % 7)
+		dupes = append(dupes, []float64{v, -v})
+	}
+	return map[string][][]float64{"blobs": blobs, "uniform": uniform, "dupes": dupes}
+}
+
+func TestKMeansGoldenHashes(t *testing.T) {
+	want := map[string][]uint64{
+		"blobs":   {0x36fac25807975ec9, 0xa35c9ca3f67d4eb6, 0xaff1e591d4f2bef4, 0x098c19ae16c60339, 0x9f60e3a5b30f34bc, 0xc1e49757e16fa5bf},
+		"uniform": {0x0fd54e1dcb4f1273, 0xffeb34fae89c7e22, 0xb82e26706dfef7cb, 0x6e1559f43eafaa5c, 0xfd65e7282aedbe88, 0xaab1cf05d5cd1180},
+		"dupes":   {0x9e33d0302666389a, 0xaa030b2ffdfe70db, 0xc0587086229e30c7, 0x2b817c53bfc74082, 0x16ca04b95b22457a, 0xacb262e4c9faa1fa},
+	}
+	pts := goldenPoints()
+	for name, hashes := range want {
+		ds, err := NewDataset(pts[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k <= len(hashes); k++ {
+			res, err := ds.KMeans(k, KMeansOptions{Seed: uint64(100 + k)})
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", name, k, err)
+			}
+			if got := kmHash(res); got != hashes[k-1] {
+				t.Errorf("%s k=%d: hash %#016x, want %#016x (clustering output changed)", name, k, got, hashes[k-1])
+			}
+			// The convenience wrapper must agree with the Dataset path.
+			res2, err := KMeans(pts[name], k, KMeansOptions{Seed: uint64(100 + k)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if kmHash(res2) != kmHash(res) {
+				t.Errorf("%s k=%d: KMeans wrapper disagrees with Dataset.KMeans", name, k)
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"math"
 
+	"pka/internal/parallel"
 	"pka/internal/stats"
 )
 
@@ -20,6 +21,7 @@ type KMeansResult struct {
 	Sizes      []int   // points per cluster
 	Inertia    float64 // sum of squared distances to assigned centers
 	Iterations int
+	Repairs    int // empty clusters re-seeded during the run
 }
 
 // KMeansOptions controls the Lloyd iteration.
@@ -27,6 +29,9 @@ type KMeansOptions struct {
 	MaxIterations int    // default 100
 	Seed          uint64 // RNG seed for k-means++ initialization
 	Tolerance     float64
+	// Workers bounds the parallelism of the assignment step; <= 0 uses
+	// GOMAXPROCS. The result is byte-identical for any worker count.
+	Workers int
 }
 
 func (o *KMeansOptions) fill() {
@@ -47,21 +52,47 @@ func sqDist(a, b []float64) float64 {
 	return s
 }
 
-// KMeans clusters points into k groups using k-means++ seeding followed by
-// Lloyd's iterations. Empty clusters are repaired by re-seeding them with
-// the point farthest from its current center, so the result always has
-// exactly k non-degenerate groups when k <= len(points) distinct points
-// exist. The run is deterministic for a given seed.
-func KMeans(points [][]float64, k int, opts KMeansOptions) (*KMeansResult, error) {
+// boundsPad is the relative safety margin applied to the Hamerly bounds:
+// upper bounds are inflated and lower bounds deflated by this factor so
+// that floating-point rounding in sqDist/Sqrt can never make a bound claim
+// more than the exact arithmetic would. It dwarfs the ~dim·2⁻⁵² relative
+// error of the distance computations while still pruning essentially every
+// settled point.
+const boundsPad = 1e-10
+
+// assignChunk is the row range one assignment task covers. Chosen so a
+// chunk's points, bounds, and assignments stay cache-resident within one
+// worker while leaving enough chunks to balance load.
+const assignChunk = 1024
+
+// Dataset is a set of points flattened to contiguous row-major storage,
+// plus the scratch buffers a K-Means run needs. Reusing one Dataset across
+// the K-sweep (k = 1..maxK over the same points) reuses every buffer, so
+// later fits allocate only their returned result.
+//
+// A Dataset is not safe for concurrent KMeans calls; the engine gives each
+// sweep its own.
+type Dataset struct {
+	n, dim int
+	data   []float64 // n*dim, row i at data[i*dim : (i+1)*dim]
+
+	// Per-run scratch, grown on demand and reused across calls.
+	centers []float64 // k*dim current centers
+	next    []float64 // k*dim update-step accumulator
+	s       []float64 // k: half distance to each center's nearest neighbor
+	moved   []float64 // k: center movement in the latest update step
+	u       []float64 // n: upper bound on distance to assigned center
+	l       []float64 // n: lower bound on distance to second-closest center
+	dist    []float64 // n: squared distance to assigned center (repair only)
+	d2      []float64 // n: k-means++ squared distances
+	chunks  []int     // assignment chunk start offsets
+}
+
+// NewDataset validates points and copies them into contiguous storage.
+func NewDataset(points [][]float64) (*Dataset, error) {
 	n := len(points)
 	if n == 0 {
 		return nil, errors.New("cluster: no points")
-	}
-	if k < 1 {
-		return nil, errors.New("cluster: k must be >= 1")
-	}
-	if k > n {
-		k = n
 	}
 	dim := len(points[0])
 	for _, p := range points {
@@ -69,113 +100,332 @@ func KMeans(points [][]float64, k int, opts KMeansOptions) (*KMeansResult, error
 			return nil, errors.New("cluster: ragged point dimensions")
 		}
 	}
+	ds := &Dataset{n: n, dim: dim, data: make([]float64, n*dim)}
+	for i, p := range points {
+		copy(ds.data[i*dim:], p)
+	}
+	return ds, nil
+}
+
+// N returns the number of points.
+func (ds *Dataset) N() int { return ds.n }
+
+// Dim returns the point dimensionality.
+func (ds *Dataset) Dim() int { return ds.dim }
+
+func (ds *Dataset) row(i int) []float64 { return ds.data[i*ds.dim : (i+1)*ds.dim] }
+
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}
+
+// KMeans clusters points into k groups using k-means++ seeding followed by
+// Lloyd's iterations. Empty clusters are repaired by re-seeding them with
+// the point farthest from every current center, so the result always has
+// exactly k non-degenerate groups when k <= len(points) distinct points
+// exist. The run is deterministic for a given seed.
+//
+// This is the convenience form; it builds a throwaway Dataset. Sweeps over
+// k should build one Dataset and call its KMeans method so scratch buffers
+// carry over.
+func KMeans(points [][]float64, k int, opts KMeansOptions) (*KMeansResult, error) {
+	if k < 1 {
+		return nil, errors.New("cluster: k must be >= 1")
+	}
+	ds, err := NewDataset(points)
+	if err != nil {
+		return nil, err
+	}
+	return ds.KMeans(k, opts)
+}
+
+// KMeans fits k clusters over the dataset. See the package-level KMeans.
+//
+// The Lloyd loop is accelerated with Hamerly-style center-movement bounds:
+// a point whose upper bound to its assigned center is strictly below both
+// half the gap to the nearest other center and its lower bound on the
+// second-closest center provably cannot change assignment, and is skipped
+// without touching any center. Strict inequalities plus the boundsPad
+// margin mean a skip never overrides the exact scan's lowest-index
+// tie-breaking, so assignments — and therefore every returned float — are
+// bit-identical to the plain full-scan implementation.
+func (ds *Dataset) KMeans(k int, opts KMeansOptions) (*KMeansResult, error) {
+	n, dim := ds.n, ds.dim
+	if k < 1 {
+		return nil, errors.New("cluster: k must be >= 1")
+	}
+	if k > n {
+		k = n
+	}
 	opts.fill()
 	rng := stats.NewRNG(opts.Seed ^ 0xC0FFEE)
 
-	centers := seedPlusPlus(points, k, rng)
+	ds.centers = growF(ds.centers, k*dim)
+	ds.next = growF(ds.next, k*dim)
+	ds.s = growF(ds.s, k)
+	ds.moved = growF(ds.moved, k)
+	ds.u = growF(ds.u, n)
+	ds.l = growF(ds.l, n)
+	ds.dist = growF(ds.dist, n)
+	ds.seedPlusPlus(k, rng)
+
+	centers, next := ds.centers, ds.next
+	u, l, dist := ds.u, ds.l, ds.dist
+	for i := 0; i < n; i++ {
+		u[i] = math.Inf(1)
+		l[i] = 0
+	}
 	assign := make([]int, n)
 	sizes := make([]int, k)
-	dist := make([]float64, n)
+	repairs := 0
+
+	workers := parallel.Workers(opts.Workers)
+	if workers > 1 && n > assignChunk {
+		nchunks := (n + assignChunk - 1) / assignChunk
+		if cap(ds.chunks) >= nchunks {
+			ds.chunks = ds.chunks[:nchunks]
+		} else {
+			ds.chunks = make([]int, nchunks)
+		}
+		for c := range ds.chunks {
+			ds.chunks[c] = c * assignChunk
+		}
+	}
 
 	var iter int
 	for iter = 0; iter < opts.MaxIterations; iter++ {
-		// Assignment step.
-		changed := false
-		for i := range sizes {
-			sizes[i] = 0
-		}
-		for i, p := range points {
-			best, bestD := 0, math.Inf(1)
-			for c, ctr := range centers {
-				if d := sqDist(p, ctr); d < bestD {
-					best, bestD = c, d
-				}
-			}
-			if assign[i] != best {
-				changed = true
-			}
-			assign[i] = best
-			dist[i] = bestD
-			sizes[best]++
-		}
-
-		// Repair empty clusters with the globally farthest point.
+		// Half distance from each center to its nearest other center: any
+		// point closer to its center than this cannot prefer another one.
 		for c := 0; c < k; c++ {
-			if sizes[c] > 0 {
-				continue
-			}
-			far, farD := -1, -1.0
-			for i := range points {
-				if sizes[assign[i]] > 1 && dist[i] > farD {
-					far, farD = i, dist[i]
+			minD := math.Inf(1)
+			cc := centers[c*dim : (c+1)*dim]
+			for o := 0; o < k; o++ {
+				if o == c {
+					continue
+				}
+				if d := sqDist(cc, centers[o*dim:(o+1)*dim]); d < minD {
+					minD = d
 				}
 			}
-			if far < 0 {
-				continue // fewer distinct points than clusters
-			}
-			sizes[assign[far]]--
-			assign[far] = c
-			sizes[c] = 1
-			centers[c] = append([]float64(nil), points[far]...)
-			changed = true
+			ds.s[c] = 0.5 * math.Sqrt(minD) * (1 - boundsPad)
 		}
 
-		// Update step.
-		next := make([][]float64, k)
-		for c := range next {
-			next[c] = make([]float64, dim)
+		// Assignment step: per-point writes are independent and the merge
+		// of per-chunk changed flags is an OR, so the outcome is identical
+		// for any worker count or interleaving.
+		changed := false
+		if workers > 1 && n > assignChunk {
+			chg, err := parallel.Map(workers, ds.chunks, func(_ int, lo int) (bool, error) {
+				hi := lo + assignChunk
+				if hi > n {
+					hi = n
+				}
+				return ds.assignRange(lo, hi, k, assign), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, c := range chg {
+				changed = changed || c
+			}
+		} else {
+			changed = ds.assignRange(0, n, k, assign)
 		}
-		for i, p := range points {
-			c := next[assign[i]]
-			for j, v := range p {
+
+		for c := range sizes {
+			sizes[c] = 0
+		}
+		for _, a := range assign {
+			sizes[a]++
+		}
+
+		// Repair empty clusters. dist is materialized lazily — identical
+		// values to what the full scan would have cached, recomputed only
+		// on the rare iteration that actually repairs.
+		repaired := false
+		for c := 0; c < k; c++ {
+			if sizes[c] == 0 {
+				for i := 0; i < n; i++ {
+					dist[i] = sqDist(ds.row(i), centers[assign[i]*dim:(assign[i]+1)*dim])
+				}
+				r := ds.repairEmpty(k, assign, sizes, dist)
+				repairs += r
+				if r > 0 {
+					changed = true
+					repaired = true
+				}
+				break
+			}
+		}
+
+		// Update step: serial, in the same point and coordinate order as
+		// the reference implementation, so the float64 summations round
+		// identically.
+		for j := range next[:k*dim] {
+			next[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := next[assign[i]*dim : (assign[i]+1)*dim]
+			for j, v := range ds.row(i) {
 				c[j] += v
 			}
 		}
-		var shift float64
-		for c := range next {
+		var shift, maxMoved float64
+		for c := 0; c < k; c++ {
+			nc := next[c*dim : (c+1)*dim]
+			oc := centers[c*dim : (c+1)*dim]
 			if sizes[c] == 0 {
-				copy(next[c], centers[c])
+				copy(nc, oc)
+				ds.moved[c] = 0
 				continue
 			}
 			inv := 1 / float64(sizes[c])
-			for j := range next[c] {
-				next[c][j] *= inv
+			for j := range nc {
+				nc[j] *= inv
 			}
-			shift += sqDist(next[c], centers[c])
+			ms := sqDist(nc, oc)
+			shift += ms
+			m := math.Sqrt(ms) * (1 + boundsPad)
+			ds.moved[c] = m
+			if m > maxMoved {
+				maxMoved = m
+			}
 		}
-		centers = next
+		centers, next = next, centers
+		ds.centers, ds.next = centers, next
 		if !changed || shift < opts.Tolerance {
 			iter++
 			break
 		}
+
+		if repaired {
+			// A re-seeded center teleported; movement-based bound updates
+			// do not cover that, so force a full scan next iteration.
+			for i := 0; i < n; i++ {
+				u[i] = math.Inf(1)
+				l[i] = 0
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				u[i] += ds.moved[assign[i]]
+				l[i] -= maxMoved
+			}
+		}
 	}
 
 	var inertia float64
-	for i, p := range points {
-		inertia += sqDist(p, centers[assign[i]])
+	for i := 0; i < n; i++ {
+		inertia += sqDist(ds.row(i), centers[assign[i]*dim:(assign[i]+1)*dim])
+	}
+	// Materialize the centers as an independent snapshot (one flat backing
+	// array) so the result survives subsequent fits on this Dataset.
+	flat := make([]float64, k*dim)
+	copy(flat, centers[:k*dim])
+	rows := make([][]float64, k)
+	for c := range rows {
+		rows[c] = flat[c*dim : (c+1)*dim : (c+1)*dim]
 	}
 	return &KMeansResult{
 		K:          k,
-		Centers:    centers,
+		Centers:    rows,
 		Assignment: assign,
 		Sizes:      sizes,
 		Inertia:    inertia,
 		Iterations: iter,
+		Repairs:    repairs,
 	}, nil
 }
 
-// seedPlusPlus implements k-means++ initialization.
-func seedPlusPlus(points [][]float64, k int, rng *stats.RNG) [][]float64 {
-	n := len(points)
-	centers := make([][]float64, 0, k)
-	first := rng.Intn(n)
-	centers = append(centers, append([]float64(nil), points[first]...))
-
-	d2 := make([]float64, n)
-	for i, p := range points {
-		d2[i] = sqDist(p, centers[0])
+// assignRange runs the assignment step over points [lo, hi), returning
+// whether any assignment changed. Writes only to assign/u/l rows in the
+// range, so disjoint ranges can run concurrently.
+func (ds *Dataset) assignRange(lo, hi, k int, assign []int) bool {
+	dim := ds.dim
+	centers, s, u, l := ds.centers, ds.s, ds.u, ds.l
+	changed := false
+	for i := lo; i < hi; i++ {
+		a := assign[i]
+		if ui := u[i]; ui < s[a] || ui < l[i] {
+			// Strictly closer to its center than any other can be: the
+			// full scan would keep a, with the same tie-breaking.
+			continue
+		}
+		p := ds.data[i*dim : (i+1)*dim]
+		best, bestD := 0, math.Inf(1)
+		second := math.Inf(1)
+		for c := 0; c < k; c++ {
+			d := sqDist(p, centers[c*dim:(c+1)*dim])
+			if d < bestD {
+				second = bestD
+				best, bestD = c, d
+			} else if d < second {
+				second = d
+			}
+		}
+		if best != a {
+			changed = true
+		}
+		assign[i] = best
+		u[i] = math.Sqrt(bestD) * (1 + boundsPad)
+		l[i] = math.Sqrt(second) * (1 - boundsPad)
 	}
-	for len(centers) < k {
+	return changed
+}
+
+// repairEmpty re-seeds every empty cluster with the point farthest from
+// all current centers, preferring points whose donor cluster keeps at
+// least one member. dist must hold each point's squared distance to its
+// assigned center; repairEmpty keeps it current as centers are re-seeded —
+// after each repair, dist[i] is lowered to the distance to the new center
+// when that is nearer, so a second repair in the same pass ranks points
+// against the post-repair geometry instead of stale distances. Returns the
+// number of clusters repaired.
+func (ds *Dataset) repairEmpty(k int, assign, sizes []int, dist []float64) int {
+	n, dim := ds.n, ds.dim
+	repairs := 0
+	for c := 0; c < k; c++ {
+		if sizes[c] > 0 {
+			continue
+		}
+		far, farD := -1, -1.0
+		for i := 0; i < n; i++ {
+			if sizes[assign[i]] > 1 && dist[i] > farD {
+				far, farD = i, dist[i]
+			}
+		}
+		if far < 0 {
+			continue // fewer distinct points than clusters
+		}
+		sizes[assign[far]]--
+		assign[far] = c
+		sizes[c] = 1
+		ctr := ds.centers[c*dim : (c+1)*dim]
+		copy(ctr, ds.row(far))
+		dist[far] = 0
+		for i := 0; i < n; i++ {
+			if d := sqDist(ds.row(i), ctr); d < dist[i] {
+				dist[i] = d
+			}
+		}
+		repairs++
+	}
+	return repairs
+}
+
+// seedPlusPlus implements k-means++ initialization into ds.centers.
+func (ds *Dataset) seedPlusPlus(k int, rng *stats.RNG) {
+	n, dim := ds.n, ds.dim
+	ds.d2 = growF(ds.d2, n)
+	d2 := ds.d2
+	first := rng.Intn(n)
+	copy(ds.centers[:dim], ds.row(first))
+	for i := 0; i < n; i++ {
+		d2[i] = sqDist(ds.row(i), ds.centers[:dim])
+	}
+	for c := 1; c < k; c++ {
 		var total float64
 		for _, d := range d2 {
 			total += d
@@ -184,25 +434,38 @@ func seedPlusPlus(points [][]float64, k int, rng *stats.RNG) [][]float64 {
 		if total <= 0 {
 			idx = rng.Intn(n) // all points coincide with some center
 		} else {
-			target := rng.Float64() * total
-			var cum float64
-			for i, d := range d2 {
-				cum += d
-				if cum >= target {
-					idx = i
-					break
-				}
-			}
+			idx = pickWeighted(d2, rng.Float64()*total)
 		}
-		ctr := append([]float64(nil), points[idx]...)
-		centers = append(centers, ctr)
-		for i, p := range points {
-			if d := sqDist(p, ctr); d < d2[i] {
+		ctr := ds.centers[c*dim : (c+1)*dim]
+		copy(ctr, ds.row(idx))
+		for i := 0; i < n; i++ {
+			if d := sqDist(ds.row(i), ctr); d < d2[i] {
 				d2[i] = d
 			}
 		}
 	}
-	return centers
+}
+
+// pickWeighted samples an index proportionally to the weights in d2, given
+// target uniform in [0, sum(d2)): the first index where the running sum
+// reaches target. If accumulated rounding leaves the running sum short of
+// target even at the end, the draw falls back to the last index with
+// nonzero weight — never silently index 0, which would bias re-seeding
+// toward whatever point happens to be first.
+func pickWeighted(d2 []float64, target float64) int {
+	var cum float64
+	for i, d := range d2 {
+		cum += d
+		if cum >= target {
+			return i
+		}
+	}
+	for i := len(d2) - 1; i >= 0; i-- {
+		if d2[i] > 0 {
+			return i
+		}
+	}
+	return 0
 }
 
 // NearestCenter returns the index of the center closest to p.

@@ -11,6 +11,7 @@ package mem
 type Cache struct {
 	ways      int
 	numSets   int
+	setMask   uint64 // numSets-1 when numSets is a power of two, else 0
 	lineShift uint
 	// tags[set*ways+way]; lru holds per-way recency (higher = more recent).
 	tags  []uint64
@@ -40,7 +41,7 @@ func NewCache(sizeBytes, ways, lineBytes int) *Cache {
 		shift++
 	}
 	n := numSets * ways
-	return &Cache{
+	c := &Cache{
 		ways:      ways,
 		numSets:   numSets,
 		lineShift: shift,
@@ -48,41 +49,58 @@ func NewCache(sizeBytes, ways, lineBytes int) *Cache {
 		valid:     make([]bool, n),
 		lru:       make([]uint64, n),
 	}
+	if numSets&(numSets-1) == 0 {
+		c.setMask = uint64(numSets - 1)
+	}
+	return c
 }
 
 // Access looks up addr, allocating the line on a miss (for both reads and
-// writes), and reports whether it hit.
+// writes), and reports whether it hit. The tag scan doubles as the victim
+// scan (invalid way first, else least recently used) so a miss walks the
+// set once, and the per-set slices are carved out up front to keep bounds
+// checks out of the way loop.
 func (c *Cache) Access(addr uint64) bool {
 	line := addr >> c.lineShift
-	set := int(line % uint64(c.numSets))
+	var set int
+	if c.setMask != 0 {
+		set = int(line & c.setMask)
+	} else {
+		set = int(line % uint64(c.numSets))
+	}
 	base := set * c.ways
 	c.clock++
 
-	for w := 0; w < c.ways; w++ {
-		if c.valid[base+w] && c.tags[base+w] == line {
-			c.lru[base+w] = c.clock
+	tags := c.tags[base : base+c.ways]
+	valid := c.valid[base : base+c.ways]
+	lru := c.lru[base : base+c.ways]
+	firstInvalid := -1
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for w := range tags {
+		if !valid[w] {
+			if firstInvalid < 0 {
+				firstInvalid = w
+			}
+			continue
+		}
+		if tags[w] == line {
+			lru[w] = c.clock
 			c.hits++
 			return true
 		}
+		if lru[w] < oldest {
+			oldest = lru[w]
+			victim = w
+		}
 	}
 	c.misses++
-	// Victim: invalid way first, else least recently used.
-	victim := base
-	var oldest uint64 = ^uint64(0)
-	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if !c.valid[i] {
-			victim = i
-			break
-		}
-		if c.lru[i] < oldest {
-			oldest = c.lru[i]
-			victim = i
-		}
+	if firstInvalid >= 0 {
+		victim = firstInvalid
 	}
-	c.tags[victim] = line
-	c.valid[victim] = true
-	c.lru[victim] = c.clock
+	tags[victim] = line
+	valid[victim] = true
+	lru[victim] = c.clock
 	return false
 }
 

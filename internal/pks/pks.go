@@ -298,8 +298,14 @@ func clusterDetailed(detailed []profiler.DetailedRecord, o Options) ([]Group, []
 	var best *cluster.KMeansResult
 	bestErr := math.Inf(1)
 	maxK := minInt(o.MaxK, len(points))
+	// One Dataset for the whole K-sweep: every fit after the first reuses
+	// the flattened points and the Lloyd scratch buffers.
+	ds, err := cluster.NewDataset(points)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("pks: kmeans dataset: %w", err)
+	}
 	for k := 1; k <= maxK; k++ {
-		res, err := cluster.KMeans(points, k, cluster.KMeansOptions{Seed: o.Seed + uint64(k)})
+		res, err := ds.KMeans(k, cluster.KMeansOptions{Seed: o.Seed + uint64(k)})
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("pks: kmeans K=%d: %w", k, err)
 		}

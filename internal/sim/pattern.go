@@ -1,0 +1,35 @@
+package sim
+
+import (
+	"pka/internal/parallel"
+	"pka/internal/trace"
+)
+
+// A kernel's instruction pattern depends only on its instruction mix and
+// its seed, and a study simulates the same few representative kernels
+// thousands of times (once per PKS group per configuration, plus every
+// ablation variant). Building the pattern — an O(mix total) fill plus a
+// Fisher-Yates shuffle — on every launch was pure rework, so patterns are
+// memoized process-wide, keyed on exactly the fields that determine them.
+//
+// The cached slice is shared between concurrent simulators; that is safe
+// because the cycle loop only ever reads it. parallel.Cache gives
+// singleflight semantics, so concurrent first launches of the same kernel
+// build the pattern once.
+type patternKey struct {
+	mix  trace.InstrMix
+	seed uint64
+}
+
+var patternCache parallel.Cache[patternKey, []uint8]
+
+// patternFor returns the (shared, read-only) instruction pattern for k.
+func patternFor(k *trace.KernelDesc) []uint8 {
+	p, _ := patternCache.Do(patternKey{mix: k.Mix, seed: k.Seed}, func() ([]uint8, error) {
+		return buildPattern(k), nil
+	})
+	return p
+}
+
+// patternCacheStats exposes hit/miss counts to tests.
+func patternCacheStats() (hits, misses uint64) { return patternCache.Stats() }

@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"math"
+	"math/bits"
+)
+
+// This file holds the event-driven scheduler's two data structures. The
+// cycle loop used to rescan every warp slot of an SM on every active cycle
+// — O(warps) work to find the ≤SchedulersPerSM warps that can actually
+// issue. Instead, each SM now keeps:
+//
+//   - a readySet bitset of warps whose stall has expired (nextReady <= now),
+//     iterated in round-robin index order starting at rrPtr so the issue
+//     order is identical to the old linear scan's, and
+//   - a wakeHeap of sleeping warps keyed on nextReady, so advancing the
+//     clock touches only the warps whose stalls expire this cycle and the
+//     SM's next-event time (minReady) is the heap top, for free.
+//
+// Both are sized once per kernel (each warp occupies at most one heap slot
+// and one bit), so the cycle loop stays allocation-free.
+
+// wheelSize is the horizon of the per-SM timing wheel. Stalls shorter than
+// this (ALU, tensor, shared memory, L1/scoreboard — the overwhelming
+// majority of issues) are parked in an O(1) bucket ring instead of the
+// heap; only far wakes (L2 and DRAM round trips) pay the O(log n) heap.
+const wheelSize = 64
+
+// sleep parks warp idx until cycle at (> now). Wake order within a cycle
+// is irrelevant — drain moves every due warp to the ready set before any
+// issue decision — so bucket lists need no internal ordering.
+func (sm *smState) sleep(at, now int64, idx int32) {
+	if at-now < wheelSize {
+		b := at & (wheelSize - 1)
+		sm.warps[idx].wakeNext = sm.wheel[b]
+		sm.wheel[b] = idx
+		sm.wheelLive++
+		return
+	}
+	sm.wake.push(at, idx)
+}
+
+// drain moves every warp due at or before now into the ready set. Wheel
+// entries always satisfy at ∈ (lastDrain, lastDrain+wheelSize) — sleeps
+// only happen while the SM is being processed, i.e. after a drain at the
+// same cycle — so scanning the buckets for (lastDrain, now] clipped to the
+// last wheelSize cycles visits every due entry exactly once.
+func (sm *smState) drain(now int64) {
+	if sm.wheelLive > 0 {
+		from := now - wheelSize + 1
+		if l := sm.lastDrain + 1; l > from {
+			from = l
+		}
+		for c := from; c <= now; c++ {
+			b := c & (wheelSize - 1)
+			for idx := sm.wheel[b]; idx >= 0; idx = sm.warps[idx].wakeNext {
+				sm.ready.set(int(idx))
+				sm.wheelLive--
+			}
+			sm.wheel[b] = -1
+		}
+	}
+	sm.lastDrain = now
+	for len(sm.wake) > 0 && sm.wake[0].at <= now {
+		sm.ready.set(int(sm.wake.pop().idx))
+	}
+}
+
+// nextWake returns the earliest pending wake time after now, or
+// math.MaxInt64 when no warp is sleeping. Called only when the SM idles
+// (no ready warp, no fresh block), which is rare on busy SMs.
+func (sm *smState) nextWake(now int64) int64 {
+	min := int64(math.MaxInt64)
+	if sm.wheelLive > 0 {
+		for off := int64(1); off < wheelSize; off++ {
+			if sm.wheel[(now+off)&(wheelSize-1)] >= 0 {
+				min = now + off
+				break
+			}
+		}
+	}
+	if len(sm.wake) > 0 && sm.wake[0].at < min {
+		min = sm.wake[0].at
+	}
+	return min
+}
+
+// wakeEvent schedules one sleeping warp's return to the ready set.
+type wakeEvent struct {
+	at  int64 // cycle at which the warp's nextReady elapses
+	idx int32 // warp slot index within the SM
+}
+
+// wakeHeap is a binary min-heap on wakeEvent.at. Wake order among equal
+// cycles is irrelevant: all warps with at <= now are drained into the
+// ready set before any issue decision, and issue order is governed by the
+// ready set's index order alone.
+type wakeHeap []wakeEvent
+
+// push inserts an event. The backing array is pre-sized to the SM's warp
+// count (a warp has at most one pending wake), so append never grows it.
+func (h *wakeHeap) push(at int64, idx int32) {
+	q := append(*h, wakeEvent{at: at, idx: idx})
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if q[p].at <= q[i].at {
+			break
+		}
+		q[p], q[i] = q[i], q[p]
+		i = p
+	}
+	*h = q
+}
+
+// pop removes and returns the earliest event. Callers check len > 0 first.
+func (h *wakeHeap) pop() wakeEvent {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && q[r].at < q[l].at {
+			m = r
+		}
+		if q[i].at <= q[m].at {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	*h = q
+	return top
+}
+
+// readySet is a bitset over an SM's warp slots.
+type readySet []uint64
+
+func (r readySet) set(i int)   { r[i>>6] |= 1 << (uint(i) & 63) }
+func (r readySet) clear(i int) { r[i>>6] &^= 1 << (uint(i) & 63) }
+
+// any reports whether any warp is ready.
+func (r readySet) any() bool {
+	for _, w := range r {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// next returns the lowest set bit in [from, limit), or -1. The cycle loop
+// calls it with [rrPtr, n) then [0, rrPtr) to reproduce the round-robin
+// scan order of the original implementation exactly.
+func (r readySet) next(from, limit int) int {
+	if from >= limit {
+		return -1
+	}
+	wi := from >> 6
+	last := (limit - 1) >> 6
+	w := r[wi] >> (uint(from) & 63) << (uint(from) & 63)
+	for {
+		if wi == last {
+			if rem := uint(limit) & 63; rem != 0 {
+				w &= 1<<rem - 1
+			}
+		}
+		if w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+		wi++
+		if wi > last {
+			return -1
+		}
+		w = r[wi]
+	}
+}

@@ -14,6 +14,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"pka/internal/gpu"
 	"pka/internal/mem"
@@ -31,6 +32,12 @@ const (
 	opSharedStore
 	opAtomic
 	opTensor
+)
+
+// Memory accesses are modeled at 32-byte sector granularity.
+const (
+	sectorBytes      = 32
+	sectorShiftBytes = 5 // log2(sectorBytes)
 )
 
 // Telemetry is the per-cycle view handed to a Controller. Fields are
@@ -126,6 +133,7 @@ type warpSlot struct {
 	base       uint64 // strided base address
 	rng        uint64 // per-warp xorshift state
 	blockSlot  int32
+	wakeNext   int32   // intrusive link in the timing wheel's bucket list
 	threadsPer float64 // thread instructions per warp instruction
 }
 
@@ -140,6 +148,30 @@ type smState struct {
 	minReady int64
 	resident int // live blocks
 	rrPtr    int
+	// Event-driven scheduler state (see sched.go): ready holds warps whose
+	// stall has expired; sleeping warps sit either in the timing wheel
+	// (wakes within wheelSize cycles — ALU, shared-memory, cache-hit
+	// stalls) or in the wake heap (far wakes: DRAM and L2 round trips).
+	ready     readySet
+	wake      wakeHeap
+	wheel     []int32 // wheelSize bucket heads (-1 = empty), linked via wakeNext
+	wheelLive int     // warps currently in the wheel
+	lastDrain int64   // cycle up to which wheel buckets have been emptied
+}
+
+// runCtx holds the per-kernel constants of the cycle loop, precomputed
+// once per launch so the memory path does no repeated int/uint/float
+// conversions, divisions by known powers of two, or modulo operations on
+// power-of-two working sets.
+type runCtx struct {
+	l1Lat, l2Lat  int64
+	lineBytes     int
+	lineBytesU    uint64
+	wsLines       uint64
+	wsMask        uint64 // wsLines-1 when wsLines is a power of two, else 0
+	sectorShift   uint   // log2(sectors per line)
+	nSectors      int
+	stridedThresh float64 // StridedFraction * 2^53, compared against rng>>11
 }
 
 // New creates a simulator for the given device.
@@ -236,7 +268,8 @@ func (s *Simulator) RunKernel(k *trace.KernelDesc, opts Options) (*KernelResult,
 	}
 	span := opts.Obs.StartKernel(k.Name)
 
-	pattern := buildPattern(k)
+	pattern := patternFor(k)
+	patLen := int32(len(pattern))
 	wpb := k.WarpsPerBlock()
 	blocksTotal := k.Grid.Count()
 	wave := occ.BlocksPerSM * s.dev.NumSMs
@@ -257,13 +290,51 @@ func (s *Simulator) RunKernel(k *trace.KernelDesc, opts Options) (*KernelResult,
 		c.ResetStats()
 	}
 
-	// Initialize SM state for this kernel's occupancy shape.
+	// Initialize SM state for this kernel's occupancy shape, reusing the
+	// previous kernel's backing arrays when they are large enough.
 	numSMs := s.dev.NumSMs
 	for i := 0; i < numSMs; i++ {
 		sm := &s.sms[i]
 		slots := occ.BlocksPerSM
-		sm.warps = make([]warpSlot, slots*wpb)
-		sm.blocks = make([]blockSlotState, slots)
+		nw := slots * wpb
+		if cap(sm.warps) >= nw {
+			sm.warps = sm.warps[:nw]
+			for j := range sm.warps {
+				sm.warps[j] = warpSlot{}
+			}
+		} else {
+			sm.warps = make([]warpSlot, nw)
+		}
+		if cap(sm.blocks) >= slots {
+			sm.blocks = sm.blocks[:slots]
+			for j := range sm.blocks {
+				sm.blocks[j] = blockSlotState{}
+			}
+		} else {
+			sm.blocks = make([]blockSlotState, slots)
+		}
+		words := (nw + 63) / 64
+		if cap(sm.ready) >= words {
+			sm.ready = sm.ready[:words]
+			for j := range sm.ready {
+				sm.ready[j] = 0
+			}
+		} else {
+			sm.ready = make(readySet, words)
+		}
+		if cap(sm.wake) >= nw {
+			sm.wake = sm.wake[:0]
+		} else {
+			sm.wake = make(wakeHeap, 0, nw)
+		}
+		if sm.wheel == nil {
+			sm.wheel = make([]int32, wheelSize)
+		}
+		for j := range sm.wheel {
+			sm.wheel[j] = -1
+		}
+		sm.wheelLive = 0
+		sm.lastDrain = 0
 		sm.minReady = 0
 		sm.resident = 0
 		sm.rrPtr = 0
@@ -284,7 +355,8 @@ func (s *Simulator) RunKernel(k *trace.KernelDesc, opts Options) (*KernelResult,
 		sm.resident++
 		for w := 0; w < wpb; w++ {
 			gw := uint64(blockID)*uint64(wpb) + uint64(w)
-			ws := &sm.warps[slot*wpb+w]
+			idx := slot*wpb + w
+			ws := &sm.warps[idx]
 			*ws = warpSlot{
 				nextReady:  now + 20, // block launch / pipe fill latency
 				instrLeft:  instr,
@@ -294,6 +366,7 @@ func (s *Simulator) RunKernel(k *trace.KernelDesc, opts Options) (*KernelResult,
 				blockSlot:  int32(slot),
 				threadsPer: threadsPer,
 			}
+			sm.sleep(now+20, now, int32(idx))
 		}
 		sm.minReady = now
 	}
@@ -318,13 +391,27 @@ func (s *Simulator) RunKernel(k *trace.KernelDesc, opts Options) (*KernelResult,
 	)
 	tele := Telemetry{BlocksTotal: blocksTotal, WaveSize: wave}
 	lineBytes := s.dev.CacheLineBytes
-	sectorBytes := 32
-	sectorsPerLine := uint64(lineBytes / sectorBytes)
-	cf := k.CoalescingFactor
-	nSectors := int(cf + 0.5)
+	sectorsPerLine := uint(lineBytes / sectorBytes)
+	nSectors := int(k.CoalescingFactor + 0.5)
 	if nSectors < 1 {
 		nSectors = 1
 	}
+	rc := runCtx{
+		l1Lat:         int64(s.dev.L1LatencyCycles),
+		l2Lat:         int64(s.dev.L2LatencyCycles),
+		lineBytes:     lineBytes,
+		lineBytesU:    uint64(lineBytes),
+		wsLines:       wsLines,
+		sectorShift:   uint(bits.TrailingZeros(sectorsPerLine)),
+		nSectors:      nSectors,
+		stridedThresh: k.StridedFraction * (1 << 53),
+	}
+	if wsLines&(wsLines-1) == 0 {
+		rc.wsMask = wsLines - 1
+	}
+	aluLat := int64(s.dev.ALULatencyCycles)
+	smemLat := int64(s.dev.SMemLatency)
+	schedulers := s.dev.SchedulersPerSM
 
 	for completed < blocksTotal && now < maxCycles {
 		issuedCycle := 0
@@ -334,65 +421,77 @@ func (s *Simulator) RunKernel(k *trace.KernelDesc, opts Options) (*KernelResult,
 			if sm.resident == 0 || sm.minReady > now {
 				continue
 			}
-			issueBudget := s.dev.SchedulersPerSM
-			newMin := int64(math.MaxInt64)
+			// Wake every warp whose stall expires at or before now: O(1)
+			// per wake, once per issued instruction over the whole run —
+			// not once per warp per cycle.
+			sm.drain(now)
+			l1 := s.l1[i]
+			issueBudget := schedulers
+			dispatched := false
+			// deadMin carries the post-issue nextReady of warps that retire
+			// on this cycle: the linear-scan implementation min-folded that
+			// value into minReady before noticing the warp had finished, so
+			// the SM gets one extra (no-op) pass that advances rrPtr. Issue
+			// order depends on rrPtr, so this quirk is load-bearing.
+			deadMin := int64(math.MaxInt64)
 			n := len(sm.warps)
-			for scan := 0; scan < n; scan++ {
-				idx := sm.rrPtr + scan
-				if idx >= n {
-					idx -= n
-				}
-				w := &sm.warps[idx]
-				if !w.active {
-					continue
-				}
-				if w.nextReady > now || issueBudget == 0 {
-					if w.nextReady < newMin {
-						newMin = w.nextReady
+			// Issue in round-robin order: ready warps in [rrPtr, n), then
+			// [0, rrPtr) — the exact order of the original full scan.
+			pos, limit := sm.rrPtr, n
+			for seg := 0; seg < 2; seg++ {
+				for issueBudget > 0 {
+					idx := sm.ready.next(pos, limit)
+					if idx < 0 {
+						break
 					}
-					continue
-				}
-				// Issue one instruction from this warp.
-				issueBudget--
-				issuedCycle++
-				op := pattern[w.patPos]
-				w.patPos++
-				if int(w.patPos) == len(pattern) {
-					w.patPos = 0
-				}
-				switch op {
-				case opCompute:
-					w.nextReady = now + int64(s.dev.ALULatencyCycles)
-				case opTensor:
-					w.nextReady = now + int64(s.dev.ALULatencyCycles)*2
-				case opSharedLoad, opSharedStore:
-					w.nextReady = now + int64(s.dev.SMemLatency)
-				case opAtomic:
-					done := s.memAccess(i, w, now, 1, sectorBytes, wsLines, sectorsPerLine, false)
-					w.nextReady = done + 16 // serialization penalty
-				default: // global/local loads & stores
-					strided := w.nextFloat() < k.StridedFraction && op != opLocalLoad
-					done := s.memAccess(i, w, now, nSectors, sectorBytes, wsLines, sectorsPerLine, strided)
-					if op == opGlobalStore {
-						// Stores retire through the write queue without
-						// stalling the warp.
-						w.nextReady = now + 1
-					} else if w.pending <= now {
-						// Scoreboard with two outstanding loads per warp:
-						// the first miss does not block issue, the second
-						// stalls until the older one returns.
-						w.pending = done
-						w.nextReady = now + 1
-					} else {
-						w.nextReady = w.pending
-						w.pending = done
+					pos = idx + 1
+					w := &sm.warps[idx]
+					sm.ready.clear(idx)
+					issueBudget--
+					issuedCycle++
+					op := pattern[w.patPos]
+					w.patPos++
+					if w.patPos == patLen {
+						w.patPos = 0
 					}
-				}
-				if w.nextReady < newMin {
-					newMin = w.nextReady
-				}
-				w.instrLeft--
-				if w.instrLeft == 0 {
+					switch op {
+					case opCompute:
+						w.nextReady = now + aluLat
+					case opTensor:
+						w.nextReady = now + aluLat*2
+					case opSharedLoad, opSharedStore:
+						w.nextReady = now + smemLat
+					case opAtomic:
+						done := s.memAccess(l1, w, now, 1, &rc, false)
+						w.nextReady = done + 16 // serialization penalty
+					default: // global/local loads & stores
+						strided := float64(w.nextUint()>>11) < rc.stridedThresh && op != opLocalLoad
+						done := s.memAccess(l1, w, now, nSectors, &rc, strided)
+						if op == opGlobalStore {
+							// Stores retire through the write queue without
+							// stalling the warp.
+							w.nextReady = now + 1
+						} else if w.pending <= now {
+							// Scoreboard with two outstanding loads per warp:
+							// the first miss does not block issue, the second
+							// stalls until the older one returns.
+							w.pending = done
+							w.nextReady = now + 1
+						} else {
+							w.nextReady = w.pending
+							w.pending = done
+						}
+					}
+					w.instrLeft--
+					if w.instrLeft != 0 {
+						// Still live: sleep until the stall expires
+						// (nextReady > now always holds here).
+						sm.sleep(w.nextReady, now, int32(idx))
+						continue
+					}
+					if w.nextReady < deadMin {
+						deadMin = w.nextReady
+					}
 					w.active = false
 					bs := &sm.blocks[w.blockSlot]
 					bs.warpsLeft--
@@ -402,20 +501,34 @@ func (s *Simulator) RunKernel(k *trace.KernelDesc, opts Options) (*KernelResult,
 						completed++
 						if nextBlock < blocksTotal {
 							dispatch(i, int(w.blockSlot), now)
-							newMin = now
+							dispatched = true
 						}
 					}
 				}
+				if issueBudget == 0 {
+					break
+				}
+				pos, limit = 0, sm.rrPtr
 			}
 			sm.rrPtr++
 			if sm.rrPtr >= n {
 				sm.rrPtr = 0
 			}
-			if newMin == math.MaxInt64 {
-				newMin = now + 1
+			if dispatched || sm.ready.any() {
+				// A fresh block or an unserved ready warp: revisit next
+				// cycle (matches the linear scan's newMin <= now cases).
+				sm.minReady = now
+			} else {
+				newMin := deadMin
+				if wk := sm.nextWake(now); wk < newMin {
+					newMin = wk
+				}
+				if newMin == math.MaxInt64 {
+					newMin = now + 1
+				}
+				sm.minReady = newMin
 			}
-			sm.minReady = newMin
-			warpInstrs += int64(s.dev.SchedulersPerSM - issueBudget)
+			warpInstrs += int64(schedulers - issueBudget)
 		}
 
 		issuedThreads := float64(issuedCycle) * threadsPer
@@ -522,19 +635,37 @@ func (s *Simulator) reportKernel(o *obs.SimObs, span *obs.Span, res *KernelResul
 }
 
 // memAccess performs one warp-level global access touching nSectors
-// 32-byte sectors, returning the completion cycle.
-func (s *Simulator) memAccess(smIdx int, w *warpSlot, now int64, nSectors, sectorBytes int, wsLines, sectorsPerLine uint64, strided bool) int64 {
-	l1 := s.l1[smIdx]
-	var done int64 = now
+// 32-byte sectors, returning the completion cycle. The hot conversions —
+// sector and line arithmetic on known powers of two, latency widths — are
+// precomputed in rc once per kernel launch.
+func (s *Simulator) memAccess(l1 *mem.Cache, w *warpSlot, now int64, nSectors int, rc *runCtx, strided bool) int64 {
+	done := now
 	if strided {
 		// Consecutive sectors starting at the warp's cursor.
-		startSector := w.base/uint64(sectorBytes) + w.cursor
+		startSector := w.base>>sectorShiftBytes + w.cursor
 		w.cursor += uint64(nSectors)
-		firstLine := startSector / sectorsPerLine
-		lastLine := (startSector + uint64(nSectors) - 1) / sectorsPerLine
+		firstLine := startSector >> rc.sectorShift
+		lastLine := (startSector + uint64(nSectors) - 1) >> rc.sectorShift
+		if rc.wsMask != 0 {
+			for line := firstLine; line <= lastLine; line++ {
+				d := s.lineAccess(l1, line&rc.wsMask*rc.lineBytesU, now, rc.lineBytes, rc)
+				if d > done {
+					done = d
+				}
+			}
+			return done
+		}
 		for line := firstLine; line <= lastLine; line++ {
-			addr := line % wsLines * uint64(s.dev.CacheLineBytes)
-			d := s.lineAccess(l1, addr, now, s.dev.CacheLineBytes)
+			d := s.lineAccess(l1, line%rc.wsLines*rc.lineBytesU, now, rc.lineBytes, rc)
+			if d > done {
+				done = d
+			}
+		}
+		return done
+	}
+	if rc.wsMask != 0 {
+		for i := 0; i < nSectors; i++ {
+			d := s.lineAccess(l1, w.nextUint()&rc.wsMask*rc.lineBytesU, now, sectorBytes, rc)
 			if d > done {
 				done = d
 			}
@@ -542,9 +673,7 @@ func (s *Simulator) memAccess(smIdx int, w *warpSlot, now int64, nSectors, secto
 		return done
 	}
 	for i := 0; i < nSectors; i++ {
-		line := w.nextUint() % wsLines
-		addr := line * uint64(s.dev.CacheLineBytes)
-		d := s.lineAccess(l1, addr, now, sectorBytes)
+		d := s.lineAccess(l1, w.nextUint()%rc.wsLines*rc.lineBytesU, now, sectorBytes, rc)
 		if d > done {
 			done = d
 		}
@@ -554,14 +683,14 @@ func (s *Simulator) memAccess(smIdx int, w *warpSlot, now int64, nSectors, secto
 
 // lineAccess walks one address through L1 -> L2 -> DRAM and returns the
 // completion cycle. fillBytes is the DRAM transfer size on a full miss.
-func (s *Simulator) lineAccess(l1 *mem.Cache, addr uint64, now int64, fillBytes int) int64 {
+func (s *Simulator) lineAccess(l1 *mem.Cache, addr uint64, now int64, fillBytes int, rc *runCtx) int64 {
 	if l1.Access(addr) {
-		return now + int64(s.dev.L1LatencyCycles)
+		return now + rc.l1Lat
 	}
 	if s.l2.Access(addr) {
-		return now + int64(s.dev.L2LatencyCycles)
+		return now + rc.l2Lat
 	}
-	return s.dram.Request(now+int64(s.dev.L2LatencyCycles), fillBytes)
+	return s.dram.Request(now+rc.l2Lat, fillBytes)
 }
 
 // nextUint advances the warp's xorshift address stream.
@@ -570,9 +699,4 @@ func (w *warpSlot) nextUint() uint64 {
 	w.rng ^= w.rng >> 7
 	w.rng ^= w.rng << 17
 	return w.rng
-}
-
-// nextFloat returns a uniform sample in [0, 1) from the warp's stream.
-func (w *warpSlot) nextFloat() float64 {
-	return float64(w.nextUint()>>11) / (1 << 53)
 }
