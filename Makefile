@@ -33,7 +33,7 @@ race:
 bench:
 	@{ $(GO) test -run NONE -bench 'SimTick' -benchmem ./internal/sim ; \
 	   $(GO) test -run NONE -bench 'SimulatorThroughput|RollingDetector|KMeansSweep|SiliconModel|WorkloadGeneration' -benchmem . ; \
-	   $(GO) test -run NONE -bench 'StudyParallel' -benchtime=1x . ; } \
+	   $(GO) test -run NONE -bench 'StudyParallel|StudyKernelSched|StudyCache' -benchtime=1x . ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_study.json
 	@echo wrote BENCH_study.json
 
@@ -44,10 +44,16 @@ bench-all:
 # is more than 25% slower (ns/op) than the committed BENCH_study.json.
 # Short benchtime keeps this cheap enough for CI; the generous tolerance
 # absorbs runner noise while still catching real algorithmic regressions.
+# The second stage gates relative speed within this run: the study must
+# scale (p=4 at least 1.5x faster than p=1, skipped below 4 CPUs) and the
+# warm artifact cache must be at least 5x faster than cold.
 bench-check:
 	@{ $(GO) test -run NONE -bench 'SimulatorThroughput' -benchtime=5x . ; \
 	   $(GO) test -run NONE -bench 'KMeansSweep' -benchtime=5x . ; } \
 	| $(GO) run ./cmd/benchjson -baseline BENCH_study.json \
 	    -check SimulatorThroughput,KMeansSweep -tolerance 25
+	@$(GO) test -run NONE -bench 'StudyParallel/p=|StudyCache/(cold|warm)' -benchtime=1x . \
+	| $(GO) run ./cmd/benchjson -o /dev/null \
+	    -check-ratio 'StudyParallel/p=1:StudyParallel/p=4:1.5:4,StudyCache/cold:StudyCache/warm:5'
 
 ci: vet build test race bench-check

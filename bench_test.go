@@ -24,9 +24,12 @@ import (
 	"testing"
 	"time"
 
+	"pka/internal/artifact"
 	"pka/internal/cluster"
 	"pka/internal/experiments"
+	"pka/internal/parallel"
 	"pka/internal/pkp"
+	"pka/internal/sampling"
 	"pka/internal/sim"
 	"pka/internal/stats"
 	"pka/internal/workload"
@@ -264,17 +267,7 @@ func BenchmarkAblationClassifier(b *testing.B) {
 // skipped outright on a single-CPU machine, where it could only record a
 // meaningless ~1x.
 func BenchmarkStudyParallel(b *testing.B) {
-	var ws []*workload.Workload
-	for _, n := range []string{
-		"Rodinia/gauss_208", "Rodinia/bfs65536", "Rodinia/hots_512",
-		"Parboil/histo", "Polybench/fdtd2d", "Cutlass/128x128x512_sgemm",
-	} {
-		w := workload.Find(n)
-		if w == nil {
-			b.Fatalf("missing workload %s", n)
-		}
-		ws = append(ws, w)
-	}
+	ws := studyBenchSet(b)
 	sweep := func(p int) time.Duration {
 		s := experiments.New()
 		s.Cfg.Parallelism = p
@@ -305,6 +298,112 @@ func BenchmarkStudyParallel(b *testing.B) {
 			serial := sweep(1)
 			par := sweep(4)
 			b.ReportMetric(serial.Seconds()/par.Seconds(), "x")
+		}
+	})
+}
+
+// studyBenchSet is the multi-workload subset the study-engine benches
+// sweep: large and small, regular and irregular, so the scheduler sees a
+// heavy-tailed task-cost distribution.
+func studyBenchSet(b *testing.B) []*workload.Workload {
+	b.Helper()
+	var ws []*workload.Workload
+	for _, n := range []string{
+		"Rodinia/gauss_208", "Rodinia/bfs65536", "Rodinia/hots_512",
+		"Parboil/histo", "Polybench/fdtd2d", "Cutlass/128x128x512_sgemm",
+	} {
+		w := workload.Find(n)
+		if w == nil {
+			b.Fatalf("missing workload %s", n)
+		}
+		ws = append(ws, w)
+	}
+	return ws
+}
+
+// BenchmarkStudyKernelSched isolates the kernel-granular scheduler: one
+// workload's full simulation split into per-kernel tasks, executed at
+// scheduler width 1 and 4 with no caching. Unlike BenchmarkStudyParallel's
+// per-workload fan-out, a single many-kernel workload can only scale if
+// parallelism reaches inside the workload — which is exactly what the
+// kernel scheduler adds.
+func BenchmarkStudyKernelSched(b *testing.B) {
+	w := workload.Find("Rodinia/gauss_208")
+	if w == nil {
+		b.Fatal("missing workload")
+	}
+	dev := VoltaV100()
+	run := func(width int) time.Duration {
+		ex := sampling.NewExec(parallel.NewScheduler(width), nil)
+		t0 := time.Now()
+		if _, err := ex.FullSim(dev, w, 0); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	b.Run("w=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(1)
+		}
+	})
+	b.Run("w=4", func(b *testing.B) {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+		for i := 0; i < b.N; i++ {
+			run(4)
+		}
+	})
+	b.Run("speedup", func(b *testing.B) {
+		if runtime.NumCPU() < 2 {
+			b.Skip("speedup needs >= 2 CPUs; a single-CPU measurement would be meaningless")
+		}
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+		for i := 0; i < b.N; i++ {
+			serial := run(1)
+			par := run(4)
+			b.ReportMetric(serial.Seconds()/par.Seconds(), "x")
+		}
+	})
+}
+
+// BenchmarkStudyCache measures the persistent artifact cache: the same
+// Figure-6 sweep on a fresh Study per iteration, cold (empty directory
+// every time) versus warm (a directory prewarmed once, so every kernel
+// outcome is served from disk). Fresh Studies keep the in-memory caches
+// cold in both arms; only the disk layer differs.
+func BenchmarkStudyCache(b *testing.B) {
+	ws := studyBenchSet(b)
+	sweep := func(dir string) time.Duration {
+		st, err := artifact.Open(dir, artifact.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		s := experiments.New()
+		s.SetWorkloads(ws)
+		s.SetArtifactStore(st)
+		t0 := time.Now()
+		if _, _, err := experiments.Figure6(s); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	warmDir := b.TempDir()
+	sweep(warmDir) // prewarm the warm arm's directory
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweep(b.TempDir())
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweep(warmDir)
+		}
+	})
+	b.Run("speedup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cold := sweep(b.TempDir())
+			warm := sweep(warmDir)
+			b.ReportMetric(cold.Seconds()/warm.Seconds(), "x")
 		}
 	})
 }

@@ -15,6 +15,15 @@
 //
 //	go test -bench 'SimulatorThroughput|KMeansSweep' . | \
 //	  benchjson -baseline BENCH_study.json -check SimulatorThroughput,KMeansSweep
+//
+// -check-ratio gates on relative speed between two benchmarks of the
+// current run (no baseline needed): each spec NUM:DEN:MIN[:MINCPU]
+// requires ns/op(NUM) / ns/op(DEN) >= MIN, i.e. DEN is at least MIN times
+// faster than NUM. Specs with a MINCPU are skipped on machines with fewer
+// CPUs — scaling ratios are meaningless on a single-core runner:
+//
+//	go test -bench StudyParallel . | benchjson \
+//	  -check-ratio 'StudyParallel/p=1:StudyParallel/p=4:1.5:4'
 package main
 
 import (
@@ -51,6 +60,7 @@ func main() {
 	baseline := flag.String("baseline", "", "committed snapshot to compare against")
 	check := flag.String("check", "", "comma-separated benchmark names to gate on ns/op")
 	tolerance := flag.Float64("tolerance", 25, "allowed ns/op regression vs baseline, percent")
+	checkRatio := flag.String("check-ratio", "", "comma-separated NUM:DEN:MIN[:MINCPU] specs requiring ns/op(NUM)/ns/op(DEN) >= MIN in this run")
 	flag.Parse()
 
 	snap := Snapshot{GoVersion: runtime.Version(), MaxProcs: runtime.GOMAXPROCS(0)}
@@ -93,6 +103,76 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *checkRatio != "" {
+		if err := checkRatios(&snap, *checkRatio, runtime.NumCPU()); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// checkRatios enforces NUM:DEN:MIN[:MINCPU] specs against the current
+// snapshot: the DEN benchmark must be at least MIN times faster than NUM.
+// A spec with a MINCPU field is skipped (with a notice) when the machine
+// has fewer CPUs, because parallel-speedup ratios only mean something with
+// cores to spread across. Absent benchmark names are hard errors, same as
+// the regression gate.
+func checkRatios(snap *Snapshot, specs string, ncpu int) error {
+	find := func(name string) *Benchmark {
+		for i := range snap.Benchmarks {
+			if snap.Benchmarks[i].Name == name {
+				return &snap.Benchmarks[i]
+			}
+		}
+		return nil
+	}
+	var failures []string
+	for _, spec := range strings.Split(specs, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 && len(parts) != 4 {
+			return fmt.Errorf("ratio spec %q: want NUM:DEN:MIN[:MINCPU]", spec)
+		}
+		min, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || min <= 0 {
+			return fmt.Errorf("ratio spec %q: bad minimum %q", spec, parts[2])
+		}
+		if len(parts) == 4 {
+			minCPU, err := strconv.Atoi(parts[3])
+			if err != nil || minCPU < 1 {
+				return fmt.Errorf("ratio spec %q: bad MINCPU %q", spec, parts[3])
+			}
+			if ncpu < minCPU {
+				fmt.Fprintf(os.Stderr, "benchjson: skipping %s: %d CPUs < required %d\n", spec, ncpu, minCPU)
+				continue
+			}
+		}
+		num, den := find(parts[0]), find(parts[1])
+		if num == nil {
+			return fmt.Errorf("benchmark %q not in current run", parts[0])
+		}
+		if den == nil {
+			return fmt.Errorf("benchmark %q not in current run", parts[1])
+		}
+		if num.NsPerOp <= 0 || den.NsPerOp <= 0 {
+			return fmt.Errorf("ratio spec %q: missing ns/op", spec)
+		}
+		ratio := num.NsPerOp / den.NsPerOp
+		if ratio < min {
+			failures = append(failures, fmt.Sprintf(
+				"%s is only %.2fx faster than %s, want >= %.2fx (%.0f vs %.0f ns/op)",
+				parts[1], ratio, parts[0], min, den.NsPerOp, num.NsPerOp))
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %s ok: %s is %.2fx faster than %s (>= %.2fx)\n",
+			spec, parts[1], ratio, parts[0], min)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("ratio gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 // checkRegressions compares the named benchmarks' ns/op in snap against

@@ -20,9 +20,12 @@ import (
 
 	"pka/internal/cli"
 	"pka/internal/core"
+	"pka/internal/obs"
+	"pka/internal/parallel"
 	"pka/internal/pkp"
 	"pka/internal/pks"
 	"pka/internal/report"
+	"pka/internal/sampling"
 	"pka/internal/workload"
 )
 
@@ -40,8 +43,10 @@ func main() {
 		wfile   = flag.String("workload-file", "", "analyze a user-defined workload from a JSON document instead of -w")
 		par     = flag.Int("p", 0, "parallelism: concurrent pipeline stages (0 = GOMAXPROCS, 1 = serial)")
 		obsFl   cli.ObsFlags
+		cacheFl cli.CacheFlags
 	)
 	obsFl.Register(nil)
+	cacheFl.Register(nil)
 	flag.Parse()
 
 	if *list {
@@ -89,6 +94,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	store, err := cacheFl.Open()
+	if err != nil {
+		fatal(err)
+	}
+	exec := sampling.NewExec(parallel.NewScheduler(*par), store)
+	cacheStats := func() map[string]obs.CacheCounts {
+		h, m := exec.MemStats()
+		out := map[string]obs.CacheCounts{"kernel_mem": {Hits: h, Misses: m}}
+		if store != nil {
+			a := store.Stats()
+			out["artifact"] = obs.CacheCounts{Hits: a.Hits, Misses: a.Misses, Evictions: a.Evictions, Corrupt: a.Corrupt}
+		}
+		return out
+	}
+	observer.RegisterCacheStats(cacheStats)
 
 	cfg := core.Config{
 		Device:      dev,
@@ -96,6 +116,7 @@ func main() {
 		PKP:         pkp.Options{Threshold: *sThresh, Window: *window},
 		Parallelism: *par,
 		Obs:         observer,
+		Exec:        exec,
 	}
 
 	fmt.Printf("workload   %s (%d kernels) on %s\n", w.FullName(), w.N, dev.Name)
@@ -134,6 +155,9 @@ func main() {
 		if err := obsFl.Finish(); err != nil {
 			fatal(err)
 		}
+		if err := cacheFl.Finish(cacheStats); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -154,6 +178,9 @@ func main() {
 		report.Hours(ev.PKA.SimHours), ev.PKA.SpeedupVsFull, ev.PKA.ErrorPct)
 	fmt.Printf("  PKA projected DRAM    %.1f%%\n", ev.PKA.DRAMUtil*100)
 	if err := obsFl.Finish(); err != nil {
+		fatal(err)
+	}
+	if err := cacheFl.Finish(cacheStats); err != nil {
 		fatal(err)
 	}
 }

@@ -132,8 +132,10 @@ func main() {
 		workname = flag.String("workloads", "", "comma-separated full workload names to restrict to")
 		par      = flag.Int("p", 0, "parallelism: concurrent per-workload artifact computations (0 = GOMAXPROCS, 1 = serial)")
 		obsFl    cli.ObsFlags
+		cacheFl  cli.CacheFlags
 	)
 	obsFl.Register(nil)
+	cacheFl.Register(nil)
 	flag.Parse()
 
 	gens := generators()
@@ -165,6 +167,12 @@ func main() {
 		fatal(err)
 	}
 	s.Cfg.Obs = observer
+	store, err := cacheFl.Open()
+	if err != nil {
+		fatal(err)
+	}
+	s.SetArtifactStore(store)
+	observer.RegisterCacheStats(s.CacheStats)
 	if *suite != "" {
 		ws := workload.BySuite(*suite)
 		if ws == nil {
@@ -220,6 +228,9 @@ func main() {
 		fmt.Fprintf(out, "[%s generated in %s]\n\n", g.name, time.Since(t0).Round(time.Millisecond))
 	}
 	if err := obsFl.Finish(); err != nil {
+		fatal(err)
+	}
+	if err := cacheFl.Finish(s.CacheStats); err != nil {
 		fatal(err)
 	}
 }

@@ -1,0 +1,29 @@
+//go:build !unix
+
+package artifact
+
+import (
+	"os"
+	"sync"
+)
+
+// dirLock on platforms without flock(2) degrades to process-local
+// serialization: single-process caching stays fully safe, and the entry
+// checksums still protect concurrent multi-process use (a torn state is
+// detected and recomputed, never returned).
+type dirLock struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func newDirLock(path string) (*dirLock, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &dirLock{f: f}, nil
+}
+
+func (l *dirLock) exclusive()   { l.mu.Lock() }
+func (l *dirLock) release()     { l.mu.Unlock() }
+func (l *dirLock) close() error { return l.f.Close() }

@@ -1,0 +1,40 @@
+//go:build unix
+
+package artifact
+
+import (
+	"os"
+	"sync"
+	"syscall"
+)
+
+// dirLock serializes store mutation across processes with flock(2) on a
+// lock file, and across goroutines of one process with a mutex (POSIX
+// advisory locks are per file description, not per goroutine).
+type dirLock struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func newDirLock(path string) (*dirLock, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &dirLock{f: f}, nil
+}
+
+// exclusive takes the cross-process lock. flock failures (exotic
+// filesystems without lock support) degrade to process-local locking
+// rather than failing the cache.
+func (l *dirLock) exclusive() {
+	l.mu.Lock()
+	_ = syscall.Flock(int(l.f.Fd()), syscall.LOCK_EX)
+}
+
+func (l *dirLock) release() {
+	_ = syscall.Flock(int(l.f.Fd()), syscall.LOCK_UN)
+	l.mu.Unlock()
+}
+
+func (l *dirLock) close() error { return l.f.Close() }

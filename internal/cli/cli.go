@@ -7,6 +7,7 @@
 package cli
 
 import (
+	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
@@ -17,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"pka/internal/artifact"
 	"pka/internal/gpu"
 	"pka/internal/obs"
 	"pka/internal/parallel"
@@ -128,6 +130,7 @@ func debugMux(o *obs.Observer) *http.ServeMux {
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.SyncCacheStats()
 		o.Metrics.WritePrometheus(w) //nolint:errcheck // client went away
 	})
 	return mux
@@ -140,6 +143,7 @@ func (f *ObsFlags) Finish() error {
 	if o == nil {
 		return nil
 	}
+	o.SyncCacheStats()
 	if f.Trace != "" {
 		if err := writeFile(f.Trace, o.WriteChromeTrace); err != nil {
 			return fmt.Errorf("trace: %w", err)
@@ -154,6 +158,81 @@ func (f *ObsFlags) Finish() error {
 		if err := writeFile(f.Audit, o.Audit.WriteNDJSON); err != nil {
 			return fmt.Errorf("audit: %w", err)
 		}
+	}
+	return nil
+}
+
+// CacheFlags is the persistent-artifact-cache flag bundle both CLIs
+// register: -cache-dir enables the on-disk content-addressed store of
+// per-kernel simulation outcomes, -cache-max-mb bounds it, and
+// -cache-stats dumps end-of-run cache counters as JSON. The cache only
+// changes wall-clock time — cached and fresh runs render byte-identical
+// output, because every entry is keyed by the full simulation input.
+type CacheFlags struct {
+	Dir   string // artifact store directory; empty disables the disk cache
+	MaxMB int64  // size bound in MiB; 0 applies the store default
+	Stats string // cache-counter JSON output path ("-" for stdout)
+
+	store *artifact.Store
+}
+
+// Register installs the cache flags on the flag set (the default set when
+// fs is nil).
+func (f *CacheFlags) Register(fs *flag.FlagSet) {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	fs.StringVar(&f.Dir, "cache-dir", "", "persist per-kernel simulation outcomes in this directory (content-addressed; reused across runs)")
+	fs.Int64Var(&f.MaxMB, "cache-max-mb", 0, "artifact cache size bound in MiB (0 = default)")
+	fs.StringVar(&f.Stats, "cache-stats", "", "write end-of-run cache hit/miss counters as JSON to this file (\"-\" for stdout)")
+}
+
+// Open opens the artifact store when -cache-dir was given; it returns
+// (nil, nil) when the disk cache is disabled, and the returned store is
+// nil-safe everywhere it is consumed.
+func (f *CacheFlags) Open() (*artifact.Store, error) {
+	if f.Dir == "" {
+		return nil, nil
+	}
+	st, err := artifact.Open(f.Dir, artifact.Options{MaxBytes: f.MaxMB << 20})
+	if err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	f.store = st
+	return st, nil
+}
+
+// Finish writes the -cache-stats JSON (families from the study-level
+// caches plus the artifact store's own counters) and closes the store.
+// Safe to call when the cache was never opened.
+func (f *CacheFlags) Finish(families func() map[string]obs.CacheCounts) error {
+	if f.Stats != "" {
+		doc := struct {
+			Families map[string]obs.CacheCounts `json:"families,omitempty"`
+			Artifact *artifact.Stats            `json:"artifact,omitempty"`
+		}{}
+		if families != nil {
+			doc.Families = families()
+		}
+		if f.store != nil {
+			st := f.store.Stats()
+			doc.Artifact = &st
+		}
+		render := func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(doc)
+		}
+		if f.Stats == "-" {
+			if err := render(os.Stdout); err != nil {
+				return fmt.Errorf("cache stats: %w", err)
+			}
+		} else if err := writeFile(f.Stats, render); err != nil {
+			return fmt.Errorf("cache stats: %w", err)
+		}
+	}
+	if f.store != nil {
+		return f.store.Close()
 	}
 	return nil
 }

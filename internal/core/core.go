@@ -19,6 +19,7 @@ import (
 	"pka/internal/silicon"
 	"pka/internal/sim"
 	"pka/internal/stats"
+	"pka/internal/trace"
 	"pka/internal/workload"
 )
 
@@ -58,6 +59,12 @@ type Config struct {
 	// PKS/PKP decision-audit records. Telemetry is observe-only — results
 	// are byte-identical with or without it.
 	Obs *obs.Observer
+	// Exec, when non-nil, runs every per-kernel simulation as a task on
+	// its kernel-granular scheduler and caches outcomes in memory and
+	// (when configured) in a persistent content-addressed artifact store.
+	// Results are byte-identical with or without it: task outcomes are
+	// merged back in kernel-launch order.
+	Exec *sampling.Exec
 }
 
 // PKSOptions returns cfg.PKS with the observer's audit stream and metric
@@ -163,38 +170,44 @@ func RunSampled(cfg Config, w *workload.Workload, sel *pks.Selection, usePKP boo
 	if cfg.Obs != nil {
 		simObs = cfg.Obs.SimObs("sim:" + mode + ":" + w.FullName())
 	}
-	s := sim.New(dev)
+
+	// One kernel task per group representative, fanned out on the
+	// kernel-granular scheduler (inline and serial when cfg.Exec is nil)
+	// and folded back in group order, so the accumulation below performs
+	// the same float operations in the same order at any parallelism.
+	task := sampling.KernelTask{Mode: sampling.ModePKS, MaxCycles: cap}
+	if usePKP {
+		task = sampling.KernelTask{Mode: sampling.ModePKA, MaxCycles: cap, PKP: sampling.NewPKPSpec(cfg.PKP)}
+	}
+	kernels := make([]trace.KernelDesc, len(sel.Groups))
+	for i, g := range sel.Groups {
+		kernels[i] = w.Kernel(g.RepIndex)
+	}
+	tobs := func(i int) sampling.TaskObs {
+		to := sampling.TaskObs{Sim: simObs}
+		if usePKP {
+			po := cfg.PKPOptions(w.FullName() + "/" + kernels[i].Name)
+			to.Audit, to.AuditSubject, to.PKPMetrics = po.Audit, po.AuditSubject, po.Metrics
+		}
+		return to
+	}
+	outs, err := cfg.Exec.RunKernels(dev, task, kernels, tobs)
 	out := SampledSim{}
+	if err != nil {
+		return out, fmt.Errorf("core: rep kernels of %s: %w", w.FullName(), err)
+	}
 	var kernelCycles int64
 	var threadInstrs, dramWeighted float64
-	for _, g := range sel.Groups {
-		k := w.Kernel(g.RepIndex)
-		var proj pkp.Projection
-		if usePKP {
-			p := pkp.New(cfg.PKPOptions(w.FullName() + "/" + k.Name))
-			res, err := s.RunKernel(&k, sim.Options{Controller: p, MaxCycles: cap, Obs: simObs})
-			if err != nil {
-				return out, fmt.Errorf("core: rep kernel %d: %w", g.RepIndex, err)
-			}
-			proj = p.Projection(res)
-			if res.Cycles >= cap {
-				out.Capped = true
-			}
-		} else {
-			res, err := s.RunKernel(&k, sim.Options{MaxCycles: cap, Obs: simObs})
-			if err != nil {
-				return out, fmt.Errorf("core: rep kernel %d: %w", g.RepIndex, err)
-			}
-			proj = pkp.Project(res)
-			if res.Cycles >= cap {
-				out.Capped = true
-			}
+	for i, g := range sel.Groups {
+		oc := outs[i]
+		if oc.Capped {
+			out.Capped = true
 		}
 		weight := int64(g.Count())
-		kernelCycles += proj.Cycles * weight
-		out.SimWarpInstrs += proj.SimulatedWarpInstrs
-		threadInstrs += proj.ThreadInstrs * float64(weight)
-		dramWeighted += proj.DRAMUtil * float64(proj.Cycles*weight)
+		kernelCycles += oc.ProjCycles * weight
+		out.SimWarpInstrs += oc.SimWarpInstrs
+		threadInstrs += oc.ThreadInstrs * float64(weight)
+		dramWeighted += oc.DRAMUtil * float64(oc.ProjCycles*weight)
 	}
 	out.ProjCycles = kernelCycles + int64(w.N)*silicon.KernelLaunchOverheadCycles
 	if kernelCycles > 0 {
@@ -240,7 +253,7 @@ func Evaluate(cfg Config, w *workload.Workload) (*Evaluation, error) {
 	pool.Go(func() error {
 		sp := cfg.Obs.StartSpan("full-sim", w.FullName())
 		defer sp.End()
-		full, fullErr = sampling.FullSim(cfg.Device, w, cfg.FullSimBudget)
+		full, fullErr = cfg.Exec.FullSim(cfg.Device, w, cfg.FullSimBudget)
 		return nil
 	})
 	if err := pool.Wait(); err != nil {

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"pka/internal/artifact"
+)
+
+// TestCacheDeterminism is the artifact-cache golden test: a serial
+// uncached study, a cold cached parallel study, and a warm cached parallel
+// study (same directory, fresh Study so every in-memory cache starts
+// empty) must render byte-identical figures, and the warm run must
+// actually be served from disk.
+func TestCacheDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the artifact pipeline three times")
+	}
+	render := func(s *Study) string {
+		var sb strings.Builder
+		c6, t6, err := Figure6(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.WriteString(c6.String())
+		sb.WriteString(t6.String())
+		tab4, err := Table4(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.WriteString(tab4.String())
+		return sb.String()
+	}
+	cached := func(dir string) (*Study, *artifact.Store) {
+		st, err := artifact.Open(dir, artifact.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		s := tinyStudy(4)
+		s.SetArtifactStore(st)
+		return s, st
+	}
+
+	serial := render(tinyStudy(1))
+
+	dir := t.TempDir()
+	coldStudy, coldStore := cached(dir)
+	cold := render(coldStudy)
+	if st := coldStore.Stats(); st.Writes == 0 {
+		t.Fatal("cold run persisted nothing")
+	}
+
+	warmStudy, warmStore := cached(dir)
+	warm := render(warmStudy)
+	if st := warmStore.Stats(); st.Hits == 0 {
+		t.Fatal("warm run never hit the artifact store")
+	}
+	if st := warmStore.Stats(); st.Writes != 0 {
+		t.Errorf("warm run recomputed %d outcomes the store should have served", st.Writes)
+	}
+
+	if cold != serial {
+		t.Errorf("cold cached output diverges from serial:\n--- serial ---\n%s\n--- cold ---\n%s", serial, cold)
+	}
+	if warm != serial {
+		t.Errorf("warm cached output diverges from serial:\n--- serial ---\n%s\n--- warm ---\n%s", serial, warm)
+	}
+
+	// The counters surface through CacheStats under the families the obs
+	// gauges are named after.
+	cs := warmStudy.CacheStats()
+	if cs["artifact"].Hits == 0 {
+		t.Error("CacheStats does not report the artifact hits")
+	}
+	if _, ok := cs["kernel_mem"]; !ok {
+		t.Error("CacheStats misses the kernel_mem family")
+	}
+}

@@ -20,8 +20,10 @@ import (
 	"errors"
 	"sync"
 
+	"pka/internal/artifact"
 	"pka/internal/core"
 	"pka/internal/gpu"
+	"pka/internal/obs"
 	"pka/internal/parallel"
 	"pka/internal/pks"
 	"pka/internal/sampling"
@@ -44,6 +46,14 @@ type Study struct {
 
 	mu        sync.Mutex
 	workloads []*workload.Workload
+
+	// execOnce builds the shared kernel-task executor on first use: one
+	// global bounded scheduler (width Cfg.Parallelism) plus the in-memory
+	// kernel-outcome cache, layered over the artifact store when one was
+	// installed with SetArtifactStore.
+	execOnce sync.Once
+	ex       *sampling.Exec
+	store    *artifact.Store
 
 	selections parallel.Cache[string, *pks.Selection]
 	crossGen   parallel.Cache[string, pks.CrossGenResult]
@@ -92,6 +102,55 @@ func (s *Study) SetWorkloads(ws []*workload.Workload) {
 // SelectionDevice returns the device selections are made on.
 func (s *Study) SelectionDevice() gpu.Device { return s.Cfg.Device }
 
+// SetArtifactStore layers a persistent content-addressed store under the
+// kernel-outcome cache. Call it before the first simulation (the executor
+// is frozen on first use); a nil store is a no-op.
+func (s *Study) SetArtifactStore(st *artifact.Store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store = st
+}
+
+// Exec returns the study's shared kernel-task executor, building it on
+// first call: kernel simulations from every generator land on one bounded
+// scheduler (longest task first) and share one outcome cache.
+func (s *Study) Exec() *sampling.Exec {
+	s.execOnce.Do(func() {
+		s.mu.Lock()
+		st := s.store
+		s.mu.Unlock()
+		s.ex = sampling.NewExec(parallel.NewScheduler(s.Cfg.Parallelism), st)
+	})
+	return s.ex
+}
+
+// CacheStats reports hit/miss counters for every cache family the study
+// maintains — the per-artifact singleflight caches, the kernel-outcome
+// memory cache, and (when configured) the on-disk artifact store. The map
+// is shaped for obs.RegisterCacheStats.
+func (s *Study) CacheStats() map[string]obs.CacheCounts {
+	out := map[string]obs.CacheCounts{}
+	add := func(family string, stats func() (hits, misses uint64)) {
+		h, m := stats()
+		out[family] = obs.CacheCounts{Hits: h, Misses: m}
+	}
+	add("selections", s.selections.Stats)
+	add("crossgen", s.crossGen.Stats)
+	add("silicon", s.siliconRes.Stats)
+	add("full_sims", s.fullSims.Stats)
+	add("sampled", s.sampled.Stats)
+	add("first_ns", s.firstNs.Stats)
+	add("tbpoint_selections", s.tbSels.Stats)
+	add("tbpoint_sims", s.tbSims.Stats)
+	ex := s.Exec()
+	add("kernel_mem", ex.MemStats)
+	if st := ex.Store(); st != nil {
+		a := st.Stats()
+		out["artifact"] = obs.CacheCounts{Hits: a.Hits, Misses: a.Misses, Evictions: a.Evictions, Corrupt: a.Corrupt}
+	}
+	return out
+}
+
 func key(dev gpu.Device, w *workload.Workload) string { return dev.Name + "|" + w.FullName() }
 
 // Selection returns the (cached) Volta PKS selection for the workload.
@@ -129,7 +188,7 @@ func (s *Study) Full(dev gpu.Device, w *workload.Workload) (*sampling.Result, er
 	return s.fullSims.Do(key(dev, w), func() (*sampling.Result, error) {
 		sp := s.Cfg.Obs.StartSpan("full-sim", key(dev, w))
 		defer sp.End()
-		r, err := sampling.FullSim(dev, w, s.Cfg.FullSimBudget)
+		r, err := s.Exec().FullSim(dev, w, s.Cfg.FullSimBudget)
 		if err != nil && !errors.Is(err, sampling.ErrInfeasible) {
 			return nil, err
 		}
@@ -152,6 +211,7 @@ func (s *Study) Sampled(dev gpu.Device, w *workload.Workload, usePKP bool) (core
 		}
 		cfg := s.Cfg
 		cfg.Device = dev
+		cfg.Exec = s.Exec()
 		r, err := core.RunSampled(cfg, w, sel, usePKP)
 		if err != nil {
 			return core.SampledSim{}, err

@@ -14,6 +14,7 @@ package obs
 
 import (
 	"io"
+	"sync"
 	"time"
 )
 
@@ -29,6 +30,9 @@ type Observer struct {
 	pkp  *PKPMetrics
 	pks  *PKSMetrics
 	pool *PoolMetrics
+
+	cacheMu   sync.Mutex
+	cacheSrcs []func() map[string]CacheCounts
 }
 
 // NewObserver returns an Observer with all three facets enabled on the
@@ -248,6 +252,55 @@ func (m *PoolMetrics) TaskDone() {
 	}
 	m.Active.Add(-1)
 	m.Tasks.Add(1)
+}
+
+// --- Cache statistics -----------------------------------------------------
+
+// CacheCounts is one cache family's counters as published through
+// RegisterCacheStats. The disk-backed artifact family also reports
+// evictions and corrupt-entry recoveries; in-memory singleflight families
+// leave those zero.
+type CacheCounts struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions,omitempty"`
+	Corrupt   uint64 `json:"corrupt,omitempty"`
+}
+
+// RegisterCacheStats installs a source of per-family cache counters.
+// Sources are polled by SyncCacheStats, which lands every family in
+// pka_cache_<family>_* gauges — putting the in-memory singleflight caches
+// and the on-disk artifact store side by side in one exposition. Multiple
+// sources compose; families with the same name overwrite last-wins.
+func (o *Observer) RegisterCacheStats(src func() map[string]CacheCounts) {
+	if o == nil || o.Metrics == nil || src == nil {
+		return
+	}
+	o.cacheMu.Lock()
+	o.cacheSrcs = append(o.cacheSrcs, src)
+	o.cacheMu.Unlock()
+}
+
+// SyncCacheStats polls every registered cache-stats source and copies the
+// counters into pka_cache_<family>_{hits,misses,evictions,corrupt} gauges.
+// Call it just before rendering an exposition; cache counters are pulled,
+// not pushed, so hot cache paths never touch the registry.
+func (o *Observer) SyncCacheStats() {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.cacheMu.Lock()
+	srcs := append([]func() map[string]CacheCounts(nil), o.cacheSrcs...)
+	o.cacheMu.Unlock()
+	r := o.Metrics
+	for _, src := range srcs {
+		for family, c := range src() {
+			r.Gauge("pka_cache_"+family+"_hits", "cache hits in the "+family+" family").Set(float64(c.Hits))
+			r.Gauge("pka_cache_"+family+"_misses", "cache misses in the "+family+" family").Set(float64(c.Misses))
+			r.Gauge("pka_cache_"+family+"_evictions", "entries evicted from the "+family+" family").Set(float64(c.Evictions))
+			r.Gauge("pka_cache_"+family+"_corrupt", "corrupt entries recovered in the "+family+" family").Set(float64(c.Corrupt))
+		}
+	}
 }
 
 // --- Simulator hookup ----------------------------------------------------

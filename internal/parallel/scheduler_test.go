@@ -1,0 +1,202 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSchedMapOrderAndResults: results come back in input order regardless
+// of execution order.
+func TestSchedMapOrderAndResults(t *testing.T) {
+	s := NewScheduler(4)
+	items := make([]int, 64)
+	for i := range items {
+		items[i] = i
+	}
+	got, err := SchedMap(s, items, func(v int) int64 { return int64(v) }, func(i, v int) (int, error) {
+		return v * 2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*2 {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i*2)
+		}
+	}
+}
+
+// TestSchedMapNilSchedulerInline: a nil scheduler runs serially in input
+// order on the calling goroutine.
+func TestSchedMapNilSchedulerInline(t *testing.T) {
+	var order []int
+	_, err := SchedMap[int, struct{}](nil, []int{0, 1, 2, 3}, nil, func(i, _ int) (struct{}, error) {
+		order = append(order, i) // no lock: must be the calling goroutine
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline order %v not input order", order)
+		}
+	}
+}
+
+// TestSchedulerLongestFirst: with one worker, queued tasks run in
+// descending cost order (FIFO on ties).
+func TestSchedulerLongestFirst(t *testing.T) {
+	s := NewScheduler(1)
+	var mu sync.Mutex
+	var order []int
+
+	// Occupy the single worker so the rest of the submissions queue up
+	// behind it, then release it and watch the drain order.
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	s.submit(1<<40, func() { defer wg.Done(); <-release })
+	costs := []int64{10, 50, 30, 50, 20}
+	for i, c := range costs {
+		i, c := i, c
+		wg.Add(1)
+		s.submit(c, func() {
+			defer wg.Done()
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		})
+	}
+	close(release)
+	wg.Wait()
+
+	want := []int{1, 3, 2, 4, 0} // 50 (seq 1), 50 (seq 3), 30, 20, 10
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("drain order %v, want %v (longest-first, FIFO ties)", order, want)
+	}
+}
+
+// TestSchedulerConcurrencyBound: at most width tasks run at once, and the
+// bound is actually reached when enough work is queued.
+func TestSchedulerConcurrencyBound(t *testing.T) {
+	const width = 3
+	s := NewScheduler(width)
+	var active, maxSeen atomic.Int64
+	items := make([]int, 100)
+	_, err := SchedMap(s, items, func(int) int64 { return 1 }, func(i, _ int) (struct{}, error) {
+		a := active.Add(1)
+		for {
+			m := maxSeen.Load()
+			if a <= m || maxSeen.CompareAndSwap(m, a) {
+				break
+			}
+		}
+		active.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := maxSeen.Load(); m > width {
+		t.Fatalf("observed %d concurrent tasks, width is %d", m, width)
+	}
+}
+
+// TestSchedMapErrorSemantics: every item is attempted and the error is the
+// lowest-indexed failure; panics are contained.
+func TestSchedMapErrorSemantics(t *testing.T) {
+	s := NewScheduler(4)
+	var attempted atomic.Int64
+	boom := errors.New("boom")
+	_, err := SchedMap(s, []int{0, 1, 2, 3, 4, 5}, func(int) int64 { return 1 }, func(i, _ int) (int, error) {
+		attempted.Add(1)
+		switch i {
+		case 4:
+			return 0, boom
+		case 2:
+			return 0, fmt.Errorf("first by index")
+		case 3:
+			panic("contained?")
+		}
+		return i, nil
+	})
+	if attempted.Load() != 6 {
+		t.Fatalf("attempted %d items, want all 6", attempted.Load())
+	}
+	if err == nil || err.Error() != "first by index" {
+		t.Fatalf("error = %v, want the lowest-indexed failure", err)
+	}
+
+	// A panic at the lowest failing index surfaces as *PanicError.
+	_, err = SchedMap(s, []int{0, 1}, func(int) int64 { return 1 }, func(i, _ int) (int, error) {
+		if i == 0 {
+			panic("zero")
+		}
+		return 0, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error = %v, want *PanicError", err)
+	}
+}
+
+// TestSchedulerIdleHoldsNoWorkers: running drops to zero after the queue
+// drains, so an idle scheduler leaks no goroutines.
+func TestSchedulerIdleHoldsNoWorkers(t *testing.T) {
+	s := NewScheduler(8)
+	items := make([]int, 32)
+	if _, err := SchedMap(s, items, func(int) int64 { return 1 }, func(i, _ int) (struct{}, error) {
+		return struct{}{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Workers decrement running just after the final task's result is
+	// published, so give them a moment to park.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s.mu.Lock()
+		running, depth := s.running, s.queue.Len()
+		s.mu.Unlock()
+		if running == 0 && depth == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("idle scheduler still has running=%d queue=%d", running, depth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSchedMapSharedScheduler: two concurrent SchedMaps on one scheduler
+// both complete with correct per-call results.
+func TestSchedMapSharedScheduler(t *testing.T) {
+	s := NewScheduler(4)
+	var wg sync.WaitGroup
+	for call := 0; call < 8; call++ {
+		call := call
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			items := make([]int, 50)
+			got, err := SchedMap(s, items, func(int) int64 { return int64(call) }, func(i, _ int) (int, error) {
+				return call*1000 + i, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i, v := range got {
+				if v != call*1000+i {
+					t.Errorf("call %d result[%d] = %d", call, i, v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -12,6 +12,7 @@ import (
 	"pka/internal/pkp"
 	"pka/internal/silicon"
 	"pka/internal/sim"
+	"pka/internal/trace"
 	"pka/internal/workload"
 )
 
@@ -49,32 +50,44 @@ type Result struct {
 	Truncated bool
 }
 
-// FullSim simulates every kernel of the workload on a fresh simulator. It
-// returns ErrInfeasible when the workload exceeds budgetWarpInstrs (zero
-// applies DefaultFullSimBudget).
+// FullSim simulates every kernel of the workload, each on a fresh
+// simulator, serially and uncached. It returns ErrInfeasible when the
+// workload exceeds budgetWarpInstrs (zero applies DefaultFullSimBudget).
+// Use Exec.FullSim to run the same simulation through the kernel-task
+// scheduler and caches; the result is byte-identical.
 func FullSim(dev gpu.Device, w *workload.Workload, budgetWarpInstrs int64) (*Result, error) {
+	return (*Exec)(nil).FullSim(dev, w, budgetWarpInstrs)
+}
+
+// FullSim simulates every kernel of the workload as independent kernel
+// tasks on the exec's scheduler and cache layers, then folds the outcomes
+// in launch order — so the result is byte-identical to the serial package
+// function at any scheduler width, warm or cold.
+func (e *Exec) FullSim(dev gpu.Device, w *workload.Workload, budgetWarpInstrs int64) (*Result, error) {
 	if budgetWarpInstrs <= 0 {
 		budgetWarpInstrs = DefaultFullSimBudget
 	}
 	if w.ApproxWarpInstructions(budgetWarpInstrs) > budgetWarpInstrs {
 		return nil, fmt.Errorf("%w: %s", ErrInfeasible, w.FullName())
 	}
-	s := sim.New(dev)
+	kernels := make([]trace.KernelDesc, w.N)
+	for i := range kernels {
+		kernels[i] = w.Kernel(i)
+	}
+	outs, err := e.RunKernels(dev, KernelTask{Mode: ModeFull}, kernels, nil)
+	if err != nil {
+		return nil, fmt.Errorf("sampling: full sim of %s: %w", w.FullName(), err)
+	}
 	res := &Result{}
 	var threadInstrs, dramWeighted float64
 	var simCycles int64
-	next := w.Iterator()
-	for k := next(); k != nil; k = next() {
-		kr, err := s.RunKernel(k, sim.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("sampling: full sim of %s kernel %d: %w", w.FullName(), k.ID, err)
-		}
-		res.ProjCycles += kr.Cycles + silicon.KernelLaunchOverheadCycles
-		res.SimWarpInstrs += kr.WarpInstrs
+	for _, oc := range outs {
+		res.ProjCycles += oc.ProjCycles + silicon.KernelLaunchOverheadCycles
+		res.SimWarpInstrs += oc.SimWarpInstrs
 		res.KernelsSimulated++
-		simCycles += kr.Cycles
-		threadInstrs += kr.ThreadInstrs
-		dramWeighted += kr.DRAMUtil * float64(kr.Cycles)
+		simCycles += oc.ProjCycles
+		threadInstrs += oc.ThreadInstrs
+		dramWeighted += oc.DRAMUtil * float64(oc.ProjCycles)
 	}
 	finalize(res, threadInstrs, dramWeighted, simCycles)
 	return res, nil
@@ -89,7 +102,6 @@ func FirstN(dev gpu.Device, w *workload.Workload, nWarpInstrs int64) (*Result, e
 	if nWarpInstrs <= 0 {
 		nWarpInstrs = DefaultFirstN
 	}
-	s := sim.New(dev)
 	res := &Result{}
 	var threadInstrs, dramWeighted float64
 	var simCycles, enteredWarp int64
@@ -100,7 +112,10 @@ func FirstN(dev gpu.Device, w *workload.Workload, nWarpInstrs int64) (*Result, e
 		ctl := sim.ControllerFunc(func(t *sim.Telemetry) bool {
 			return t.WarpInstrs >= budgetLeft
 		})
-		kr, err := s.RunKernel(k, sim.Options{Controller: ctl})
+		// Fresh simulator per kernel, matching the kernel-task semantics
+		// of every other policy (see task.go), so FirstN with an
+		// exhaustive budget lands exactly on FullSim's numbers.
+		kr, err := sim.New(dev).RunKernel(k, sim.Options{Controller: ctl})
 		if err != nil {
 			return nil, fmt.Errorf("sampling: first-N sim of %s kernel %d: %w", w.FullName(), k.ID, err)
 		}

@@ -1,0 +1,355 @@
+// Kernel-granular task execution: every simulation the study layer runs —
+// full-baseline kernels and PKS/PKA group representatives alike — is one
+// KernelTask on one kernel, executed on a fresh simulator. That makes each
+// task a pure function of (device, kernel feature vector, task spec), which
+// buys the two properties this file exists for: tasks can be scheduled
+// independently on the global longest-first scheduler, and their outcomes
+// can be memoized — in memory with singleflight semantics and on disk in a
+// content-addressed artifact store — because the content key fully
+// determines the result.
+package sampling
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"pka/internal/artifact"
+	"pka/internal/gpu"
+	"pka/internal/obs"
+	"pka/internal/parallel"
+	"pka/internal/pkp"
+	"pka/internal/sim"
+	"pka/internal/trace"
+)
+
+// TaskMode selects the per-kernel simulation policy.
+type TaskMode uint8
+
+// The three policies the study layer runs per kernel.
+const (
+	// ModeFull runs the kernel to completion (full-baseline semantics).
+	ModeFull TaskMode = iota
+	// ModePKS runs under the cycle cap and extrapolates capped kernels by
+	// their lifetime average (sampled simulation without projection).
+	ModePKS
+	// ModePKA runs under Principal Kernel Projection's stability
+	// controller and projects the truncated run.
+	ModePKA
+)
+
+// PKPSpec is the semantic subset of pkp.Options — the fields that change
+// results. Observe-only wiring (audit, metrics) deliberately lives in
+// TaskObs instead, so telemetry can never split or poison cache keys.
+type PKPSpec struct {
+	Threshold             float64
+	Window                int
+	DisableWaveConstraint bool
+}
+
+// NewPKPSpec canonicalizes PKP parameters: zero values are resolved to the
+// package defaults, so configurations that mean the same thing produce the
+// same content key.
+func NewPKPSpec(o pkp.Options) PKPSpec {
+	sp := PKPSpec{Threshold: o.Threshold, Window: o.Window, DisableWaveConstraint: o.DisableWaveConstraint}
+	if sp.Threshold <= 0 {
+		sp.Threshold = pkp.DefaultThreshold
+	}
+	if sp.Window <= 0 {
+		sp.Window = pkp.DefaultWindow
+	}
+	return sp
+}
+
+// KernelTask is one per-kernel unit of simulation work.
+type KernelTask struct {
+	Mode TaskMode
+	// MaxCycles caps the simulated cycles (0 = simulator default). ModeFull
+	// ignores it and runs with the simulator's own runaway guard.
+	MaxCycles int64
+	// PKP parameterizes the stability controller; only ModePKA reads it.
+	PKP PKPSpec
+}
+
+// KernelOutcome is the cacheable result of one kernel task: exactly the
+// values the study layer accumulates, and nothing tied to observation.
+type KernelOutcome struct {
+	// ProjCycles is the kernel's (projected, for sampled modes) cycles.
+	ProjCycles int64
+	// SimWarpInstrs is the work actually simulated — the cost side.
+	SimWarpInstrs int64
+	// ThreadInstrs is the (projected) executed thread instructions.
+	ThreadInstrs float64
+	// DRAMUtil is the kernel's DRAM utilization (a rate; no scaling).
+	DRAMUtil float64
+	// Capped reports the run hit the task's cycle cap.
+	Capped bool
+	// Truncated reports any extrapolation happened.
+	Truncated bool
+}
+
+// TaskObs is the observe-only wiring for one kernel task. It is outside
+// the content key and the cached payload by design: telemetry can never
+// change a result, and cached runs simply skip it.
+type TaskObs struct {
+	Sim          *obs.SimObs
+	Audit        *obs.Audit
+	AuditSubject string
+	PKPMetrics   *obs.PKPMetrics
+}
+
+// taskSchema salts every content key with the outcome encoding and task
+// semantics version; bump it (or artifact.Version) whenever either
+// changes meaning.
+const taskSchema = "pka-kernel-task-v1"
+
+// TaskKey derives the content-addressed key of one kernel task: a SHA-256
+// over the device configuration, the kernel's semantic feature vector, and
+// the task spec. The kernel's launch index and name are deliberately
+// excluded — two launches with identical features are the same work, which
+// is exactly the redundancy the paper's methodology exploits.
+func TaskKey(dev gpu.Device, k *trace.KernelDesc, t KernelTask) string {
+	var buf [8]byte
+	u := func(b *[]byte, v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		*b = append(*b, buf[:]...)
+	}
+	i := func(b *[]byte, v int) { u(b, uint64(int64(v))) }
+	f := func(b *[]byte, v float64) { u(b, math.Float64bits(v)) }
+
+	devSec := []byte(dev.Name + "|" + dev.Generation.String())
+	i(&devSec, dev.NumSMs)
+	i(&devSec, dev.CoreClockMHz)
+	i(&devSec, dev.WarpSize)
+	i(&devSec, dev.MaxWarpsPerSM)
+	i(&devSec, dev.MaxBlocksPerSM)
+	i(&devSec, dev.MaxThreadsPerSM)
+	i(&devSec, dev.RegistersPerSM)
+	i(&devSec, dev.SharedMemPerSM)
+	i(&devSec, dev.SchedulersPerSM)
+	i(&devSec, dev.L1SizeBytes)
+	i(&devSec, dev.L2SizeBytes)
+	i(&devSec, dev.CacheLineBytes)
+	f(&devSec, dev.DRAMBandwidthGBs)
+	i(&devSec, dev.L1LatencyCycles)
+	i(&devSec, dev.L2LatencyCycles)
+	i(&devSec, dev.DRAMLatency)
+	i(&devSec, dev.ALULatencyCycles)
+	i(&devSec, dev.SMemLatency)
+	if dev.HasTensorCores {
+		i(&devSec, 1)
+	} else {
+		i(&devSec, 0)
+	}
+	f(&devSec, dev.ISAScale)
+
+	kSec := make([]byte, 0, 200)
+	i(&kSec, k.Grid.X)
+	i(&kSec, k.Grid.Y)
+	i(&kSec, k.Grid.Z)
+	i(&kSec, k.Block.X)
+	i(&kSec, k.Block.Y)
+	i(&kSec, k.Block.Z)
+	i(&kSec, k.RegsPerThread)
+	i(&kSec, k.SharedMemPerBlock)
+	i(&kSec, k.Mix.GlobalLoads)
+	i(&kSec, k.Mix.GlobalStores)
+	i(&kSec, k.Mix.LocalLoads)
+	i(&kSec, k.Mix.SharedLoads)
+	i(&kSec, k.Mix.SharedStores)
+	i(&kSec, k.Mix.GlobalAtomics)
+	i(&kSec, k.Mix.Compute)
+	i(&kSec, k.Mix.TensorOps)
+	f(&kSec, k.CoalescingFactor)
+	u(&kSec, uint64(k.WorkingSetBytes))
+	f(&kSec, k.StridedFraction)
+	f(&kSec, k.DivergenceEff)
+	f(&kSec, k.BlockImbalance)
+	u(&kSec, k.Seed)
+
+	tSec := make([]byte, 0, 48)
+	i(&tSec, int(t.Mode))
+	u(&tSec, uint64(t.MaxCycles))
+	if t.Mode == ModePKA {
+		f(&tSec, t.PKP.Threshold)
+		i(&tSec, t.PKP.Window)
+		if t.PKP.DisableWaveConstraint {
+			i(&tSec, 1)
+		} else {
+			i(&tSec, 0)
+		}
+	}
+
+	return artifact.Key([]byte(taskSchema), devSec, kSec, tSec)
+}
+
+// outcomeSize is the fixed on-disk payload size of one KernelOutcome.
+const outcomeSize = 8 + 8 + 8 + 8 + 1
+
+// encodeOutcome serializes an outcome exactly (floats as IEEE-754 bits).
+func encodeOutcome(oc KernelOutcome) []byte {
+	b := make([]byte, outcomeSize)
+	binary.LittleEndian.PutUint64(b[0:], uint64(oc.ProjCycles))
+	binary.LittleEndian.PutUint64(b[8:], uint64(oc.SimWarpInstrs))
+	binary.LittleEndian.PutUint64(b[16:], math.Float64bits(oc.ThreadInstrs))
+	binary.LittleEndian.PutUint64(b[24:], math.Float64bits(oc.DRAMUtil))
+	var flags byte
+	if oc.Capped {
+		flags |= 1
+	}
+	if oc.Truncated {
+		flags |= 2
+	}
+	b[32] = flags
+	return b
+}
+
+// decodeOutcome parses encodeOutcome's layout, rejecting anything else.
+func decodeOutcome(b []byte) (KernelOutcome, error) {
+	if len(b) != outcomeSize || b[32] > 3 {
+		return KernelOutcome{}, fmt.Errorf("sampling: outcome payload malformed (%d bytes)", len(b))
+	}
+	return KernelOutcome{
+		ProjCycles:    int64(binary.LittleEndian.Uint64(b[0:])),
+		SimWarpInstrs: int64(binary.LittleEndian.Uint64(b[8:])),
+		ThreadInstrs:  math.Float64frombits(binary.LittleEndian.Uint64(b[16:])),
+		DRAMUtil:      math.Float64frombits(binary.LittleEndian.Uint64(b[24:])),
+		Capped:        b[32]&1 != 0,
+		Truncated:     b[32]&2 != 0,
+	}, nil
+}
+
+// Exec bundles the execution resources one study run shares across all of
+// its kernel tasks: the global scheduler, the persistent artifact store,
+// and an in-memory singleflight outcome cache layered above it. A nil
+// *Exec is valid and degrades every entry point to the serial, uncached
+// behaviour — one fresh simulator per kernel on the calling goroutine.
+type Exec struct {
+	sched *parallel.Scheduler
+	store *artifact.Store
+	mem   parallel.Cache[string, KernelOutcome]
+}
+
+// NewExec builds an Exec. Either resource may be nil: a nil scheduler runs
+// tasks inline on the caller, a nil store caches in memory only.
+func NewExec(sched *parallel.Scheduler, store *artifact.Store) *Exec {
+	return &Exec{sched: sched, store: store}
+}
+
+// Scheduler returns the exec's scheduler (nil for inline execution).
+func (e *Exec) Scheduler() *parallel.Scheduler {
+	if e == nil {
+		return nil
+	}
+	return e.sched
+}
+
+// Store returns the exec's artifact store (nil when not persisting).
+func (e *Exec) Store() *artifact.Store {
+	if e == nil {
+		return nil
+	}
+	return e.store
+}
+
+// MemStats reports the in-memory outcome cache's singleflight counters.
+func (e *Exec) MemStats() (hits, misses uint64) {
+	if e == nil {
+		return 0, 0
+	}
+	return e.mem.Stats()
+}
+
+// RunKernels executes task once per kernel through the scheduler and the
+// cache layers and returns the outcomes in input order, so folding them is
+// bit-identical to the serial loop they replace. tobs supplies the
+// observe-only wiring per kernel (nil for none). The scheduler prioritizes
+// by each kernel's dynamic warp-instruction count, longest-first.
+func (e *Exec) RunKernels(dev gpu.Device, task KernelTask, kernels []trace.KernelDesc, tobs func(i int) TaskObs) ([]KernelOutcome, error) {
+	noObs := func(int) TaskObs { return TaskObs{} }
+	if tobs == nil {
+		tobs = noObs
+	}
+	cost := func(k trace.KernelDesc) int64 { return k.TotalWarpInstructions(dev) }
+	return parallel.SchedMap(e.Scheduler(), kernels, cost, func(i int, k trace.KernelDesc) (KernelOutcome, error) {
+		return e.runKernel(dev, k, task, tobs(i))
+	})
+}
+
+// runKernel computes one outcome through the cache layers: in-memory
+// singleflight → artifact store → fresh simulator.
+func (e *Exec) runKernel(dev gpu.Device, k trace.KernelDesc, task KernelTask, to TaskObs) (KernelOutcome, error) {
+	if e == nil {
+		return simulateKernel(dev, k, task, to)
+	}
+	key := TaskKey(dev, &k, task)
+	return e.mem.Do(key, func() (KernelOutcome, error) {
+		if raw, ok := e.store.Get(key); ok {
+			if oc, err := decodeOutcome(raw); err == nil {
+				return oc, nil
+			}
+			// Undecodable payload under a valid checksum means schema
+			// drift without a version bump; recompute and overwrite.
+		}
+		oc, err := simulateKernel(dev, k, task, to)
+		if err != nil {
+			return KernelOutcome{}, err
+		}
+		_ = e.store.Put(key, encodeOutcome(oc)) // best-effort persistence
+		return oc, nil
+	})
+}
+
+// simulateKernel runs one kernel task on a fresh simulator. Fresh matters:
+// starting every kernel from cold caches is what makes the outcome a pure
+// function of the inputs in the key.
+func simulateKernel(dev gpu.Device, k trace.KernelDesc, task KernelTask, to TaskObs) (KernelOutcome, error) {
+	s := sim.New(dev)
+	switch task.Mode {
+	case ModeFull:
+		res, err := s.RunKernel(&k, sim.Options{Obs: to.Sim})
+		if err != nil {
+			return KernelOutcome{}, err
+		}
+		return KernelOutcome{
+			ProjCycles:    res.Cycles,
+			SimWarpInstrs: res.WarpInstrs,
+			ThreadInstrs:  res.ThreadInstrs,
+			DRAMUtil:      res.DRAMUtil,
+		}, nil
+	case ModePKS:
+		res, err := s.RunKernel(&k, sim.Options{MaxCycles: task.MaxCycles, Obs: to.Sim})
+		if err != nil {
+			return KernelOutcome{}, err
+		}
+		return outcomeFromProjection(pkp.Project(res), res, task), nil
+	case ModePKA:
+		p := pkp.New(pkp.Options{
+			Threshold:             task.PKP.Threshold,
+			Window:                task.PKP.Window,
+			DisableWaveConstraint: task.PKP.DisableWaveConstraint,
+			Audit:                 to.Audit,
+			AuditSubject:          to.AuditSubject,
+			Metrics:               to.PKPMetrics,
+		})
+		res, err := s.RunKernel(&k, sim.Options{Controller: p, MaxCycles: task.MaxCycles, Obs: to.Sim})
+		if err != nil {
+			return KernelOutcome{}, err
+		}
+		return outcomeFromProjection(p.Projection(res), res, task), nil
+	default:
+		return KernelOutcome{}, fmt.Errorf("sampling: unknown task mode %d", task.Mode)
+	}
+}
+
+// outcomeFromProjection folds a PKP projection into the cacheable outcome.
+func outcomeFromProjection(pr pkp.Projection, res *sim.KernelResult, task KernelTask) KernelOutcome {
+	return KernelOutcome{
+		ProjCycles:    pr.Cycles,
+		SimWarpInstrs: pr.SimulatedWarpInstrs,
+		ThreadInstrs:  pr.ThreadInstrs,
+		DRAMUtil:      pr.DRAMUtil,
+		Capped:        task.MaxCycles > 0 && res.Cycles >= task.MaxCycles,
+		Truncated:     pr.Truncated,
+	}
+}

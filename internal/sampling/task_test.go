@@ -1,0 +1,263 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"pka/internal/artifact"
+	"pka/internal/gpu"
+	"pka/internal/parallel"
+	"pka/internal/pkp"
+	"pka/internal/trace"
+	"pka/internal/workload"
+)
+
+func testKernel(t *testing.T) trace.KernelDesc {
+	t.Helper()
+	w := workload.Find("Rodinia/gauss_mat4")
+	if w == nil {
+		t.Fatal("study workload missing")
+	}
+	return w.Kernel(0)
+}
+
+func TestTaskKeyIgnoresIdentity(t *testing.T) {
+	dev := gpu.VoltaV100()
+	k := testKernel(t)
+	task := KernelTask{Mode: ModeFull}
+	base := TaskKey(dev, &k, task)
+
+	// Launch index and display name are identity, not content: two
+	// launches with identical features must share one cache entry.
+	k2 := k
+	k2.ID = k.ID + 1000
+	k2.Name = "renamed_" + k.Name
+	if TaskKey(dev, &k2, task) != base {
+		t.Fatal("kernel ID/name changed the content key")
+	}
+}
+
+func TestTaskKeySensitivity(t *testing.T) {
+	dev := gpu.VoltaV100()
+	k := testKernel(t)
+	task := KernelTask{Mode: ModePKA, MaxCycles: 12345, PKP: NewPKPSpec(pkp.Options{})}
+	base := TaskKey(dev, &k, task)
+
+	perturb := map[string]func() string{
+		"device": func() string {
+			d := dev
+			d.NumSMs++
+			return TaskKey(d, &k, task)
+		},
+		"grid": func() string {
+			kk := k
+			kk.Grid.X++
+			return TaskKey(dev, &kk, task)
+		},
+		"mix": func() string {
+			kk := k
+			kk.Mix.Compute++
+			return TaskKey(dev, &kk, task)
+		},
+		"coalescing": func() string {
+			kk := k
+			kk.CoalescingFactor = math.Nextafter(kk.CoalescingFactor, 2)
+			return TaskKey(dev, &kk, task)
+		},
+		"seed": func() string {
+			kk := k
+			kk.Seed++
+			return TaskKey(dev, &kk, task)
+		},
+		"mode": func() string {
+			tt := task
+			tt.Mode = ModePKS
+			return TaskKey(dev, &k, tt)
+		},
+		"max-cycles": func() string {
+			tt := task
+			tt.MaxCycles++
+			return TaskKey(dev, &k, tt)
+		},
+		"pkp-threshold": func() string {
+			tt := task
+			tt.PKP.Threshold *= 2
+			return TaskKey(dev, &k, tt)
+		},
+	}
+	for name, f := range perturb {
+		if f() == base {
+			t.Errorf("perturbing %s did not change the key", name)
+		}
+	}
+
+	// PKP parameters are inert outside ModePKA: PKS tasks with different
+	// thresholds are the same work.
+	pksA := KernelTask{Mode: ModePKS, MaxCycles: 1, PKP: PKPSpec{Threshold: 0.1, Window: 7}}
+	pksB := KernelTask{Mode: ModePKS, MaxCycles: 1, PKP: PKPSpec{Threshold: 0.9, Window: 9}}
+	if TaskKey(dev, &k, pksA) != TaskKey(dev, &k, pksB) {
+		t.Error("PKP spec leaked into a non-PKA key")
+	}
+}
+
+func TestNewPKPSpecCanonicalizes(t *testing.T) {
+	got := NewPKPSpec(pkp.Options{})
+	want := PKPSpec{Threshold: pkp.DefaultThreshold, Window: pkp.DefaultWindow}
+	if got != want {
+		t.Fatalf("NewPKPSpec zero = %+v, want defaults %+v", got, want)
+	}
+	dev := gpu.VoltaV100()
+	k := testKernel(t)
+	explicit := KernelTask{Mode: ModePKA, PKP: want}
+	implicit := KernelTask{Mode: ModePKA, PKP: NewPKPSpec(pkp.Options{})}
+	if TaskKey(dev, &k, explicit) != TaskKey(dev, &k, implicit) {
+		t.Fatal("default and explicit-default PKP specs key differently")
+	}
+}
+
+func TestOutcomeCodecRoundtrip(t *testing.T) {
+	cases := []KernelOutcome{
+		{},
+		{ProjCycles: 1 << 40, SimWarpInstrs: 7, ThreadInstrs: 3.25, DRAMUtil: 0.875},
+		{ProjCycles: -1, ThreadInstrs: math.Inf(1), Capped: true},
+		{DRAMUtil: math.Nextafter(0, 1), Truncated: true},
+		{Capped: true, Truncated: true},
+	}
+	for _, oc := range cases {
+		got, err := decodeOutcome(encodeOutcome(oc))
+		if err != nil {
+			t.Fatalf("roundtrip of %+v: %v", oc, err)
+		}
+		if got != oc {
+			t.Fatalf("roundtrip of %+v = %+v", oc, got)
+		}
+	}
+	for _, bad := range [][]byte{nil, make([]byte, outcomeSize-1), make([]byte, outcomeSize+1)} {
+		if _, err := decodeOutcome(bad); err == nil {
+			t.Fatalf("decode accepted %d bytes", len(bad))
+		}
+	}
+	withBadFlags := encodeOutcome(KernelOutcome{})
+	withBadFlags[32] = 4
+	if _, err := decodeOutcome(withBadFlags); err == nil {
+		t.Fatal("decode accepted unknown flag bits")
+	}
+}
+
+// TestExecCacheLayering: a disk entry written by one Exec satisfies a
+// second Exec (fresh memory cache) from the store, and a third call on the
+// second Exec from memory — all three byte-identical.
+func TestExecCacheLayering(t *testing.T) {
+	dev := gpu.VoltaV100()
+	k := testKernel(t)
+	kernels := []trace.KernelDesc{k}
+	task := KernelTask{Mode: ModeFull}
+
+	st, err := artifact.Open(t.TempDir(), artifact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	cold := NewExec(nil, st)
+	a, err := cold.RunKernels(dev, task, kernels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := st.Stats(); s.Writes != 1 || s.Hits != 0 {
+		t.Fatalf("cold run stats %+v, want one write and no hits", s)
+	}
+
+	warm := NewExec(nil, st)
+	b, err := warm.RunKernels(dev, task, kernels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := st.Stats(); s.Hits != 1 {
+		t.Fatalf("warm run did not hit the store: %+v", s)
+	}
+	c, err := warm.RunKernels(dev, task, kernels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, m := warm.MemStats(); h != 1 || m != 1 {
+		t.Fatalf("mem stats = %d/%d, want 1 hit / 1 miss", h, m)
+	}
+	if s := st.Stats(); s.Hits != 1 {
+		t.Fatalf("second warm call bypassed memory: %+v", s)
+	}
+	if a[0] != b[0] || b[0] != c[0] {
+		t.Fatalf("outcomes diverge across layers: %+v %+v %+v", a[0], b[0], c[0])
+	}
+
+	// And a serial, uncached run agrees with all of them.
+	d, err := (*Exec)(nil).RunKernels(dev, task, kernels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0] != a[0] {
+		t.Fatalf("uncached outcome %+v != cached %+v", d[0], a[0])
+	}
+}
+
+// TestExecScheduledMatchesSerial: scheduling kernels across workers
+// returns the same outcomes in the same order as the inline path.
+func TestExecScheduledMatchesSerial(t *testing.T) {
+	dev := gpu.VoltaV100()
+	w := workload.Find("Rodinia/gauss_mat4")
+	kernels := make([]trace.KernelDesc, w.N)
+	for i := range kernels {
+		kernels[i] = w.Kernel(i)
+	}
+	task := KernelTask{Mode: ModePKS, MaxCycles: 50_000}
+
+	serial, err := (*Exec)(nil).RunKernels(dev, task, kernels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewExec(parallel.NewScheduler(4), nil)
+	par, err := sched.RunKernels(dev, task, kernels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(serial) {
+		t.Fatalf("length mismatch: %d vs %d", len(par), len(serial))
+	}
+	for i := range serial {
+		if par[i] != serial[i] {
+			t.Fatalf("kernel %d: scheduled %+v != serial %+v", i, par[i], serial[i])
+		}
+	}
+}
+
+// TestCorruptStoreEntryRecomputes: a corrupted disk entry must be
+// recomputed transparently, yielding the same outcome as the clean run.
+func TestCorruptStoreEntryRecomputes(t *testing.T) {
+	dev := gpu.VoltaV100()
+	k := testKernel(t)
+	task := KernelTask{Mode: ModeFull}
+	key := TaskKey(dev, &k, task)
+
+	st, err := artifact.Open(t.TempDir(), artifact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	clean, err := NewExec(nil, st).RunKernels(dev, task, []trace.KernelDesc{k}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Overwrite the entry with a validly-checksummed but undecodable
+	// payload: wrong size for the outcome codec.
+	if err := st.Put(key, []byte("schema drifted")); err != nil {
+		t.Fatal(err)
+	}
+	again, err := NewExec(nil, st).RunKernels(dev, task, []trace.KernelDesc{k}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] != clean[0] {
+		t.Fatalf("recomputed outcome %+v != clean %+v", again[0], clean[0])
+	}
+}

@@ -8,7 +8,13 @@
 // instantaneous IPC signal and stop simulation once it stabilizes.
 //
 // The model is single-threaded and deterministic: the same kernel on the
-// same device always produces the same cycle count.
+// same device always produces the same cycle count. The study layer runs
+// every kernel on a fresh Simulator (cold caches), which makes each
+// result a pure function of (device, kernel, options) — the property the
+// kernel-task scheduler and the content-addressed artifact cache in
+// internal/sampling and internal/artifact are built on. Code that reuses
+// one Simulator across kernels (cache state carries over) must not be
+// cached under those content keys.
 package sim
 
 import (
