@@ -33,8 +33,9 @@ race:
 bench:
 	@{ $(GO) test -run NONE -bench 'SimTick' -benchmem ./internal/sim ; \
 	   $(GO) test -run NONE -bench 'SimulatorThroughput|RollingDetector|KMeansSweep|SiliconModel|WorkloadGeneration' -benchmem . ; \
-	   $(GO) test -run NONE -bench 'StudyParallel|StudyKernelSched|StudyCache' -benchtime=1x . ; } \
-	| $(GO) run ./cmd/benchjson -o BENCH_study.json
+	   $(GO) test -run NONE -bench 'StudyParallel|StudyKernelSched|StudyCache|StudyRemote' -benchtime=1x . ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_study.json -baseline BENCH_study.json \
+	    -note "recorded on the 1-CPU reference box: parallel and remote sub-benches (StudyParallel/p=4, StudyRemote/workers=2) are slower than their serial arms there because fan-out only adds overhead without cores to spread across; their speedup gates apply on >= 4 CPUs"
 	@echo wrote BENCH_study.json
 
 bench-all:
@@ -45,15 +46,18 @@ bench-all:
 # Short benchtime keeps this cheap enough for CI; the generous tolerance
 # absorbs runner noise while still catching real algorithmic regressions.
 # The second stage gates relative speed within this run: the study must
-# scale (p=4 at least 1.5x faster than p=1, skipped below 4 CPUs) and the
-# warm artifact cache must be at least 5x faster than cold.
+# scale (p=4 at least 1.5x faster than p=1, skipped below 4 CPUs), the
+# warm artifact cache must be at least 5x faster than cold, and two
+# loopback worker processes must beat single-process by 1.5x (also
+# skipped below 4 CPUs — worker processes on one core only add RPC
+# overhead).
 bench-check:
 	@{ $(GO) test -run NONE -bench 'SimulatorThroughput' -benchtime=5x . ; \
 	   $(GO) test -run NONE -bench 'KMeansSweep' -benchtime=5x . ; } \
 	| $(GO) run ./cmd/benchjson -baseline BENCH_study.json \
 	    -check SimulatorThroughput,KMeansSweep -tolerance 25
-	@$(GO) test -run NONE -bench 'StudyParallel/p=|StudyCache/(cold|warm)' -benchtime=1x . \
+	@$(GO) test -run NONE -bench 'StudyParallel/p=|StudyCache/(cold|warm)|StudyRemote/(local|workers)' -benchtime=1x . \
 	| $(GO) run ./cmd/benchjson -o /dev/null \
-	    -check-ratio 'StudyParallel/p=1:StudyParallel/p=4:1.5:4,StudyCache/cold:StudyCache/warm:5'
+	    -check-ratio 'StudyParallel/p=1:StudyParallel/p=4:1.5:4,StudyCache/cold:StudyCache/warm:5,StudyRemote/local:StudyRemote/workers=2:1.5:4'
 
 ci: vet build test race bench-check

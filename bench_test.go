@@ -16,7 +16,12 @@
 package pka
 
 import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime"
 	"strings"
@@ -29,6 +34,7 @@ import (
 	"pka/internal/experiments"
 	"pka/internal/parallel"
 	"pka/internal/pkp"
+	"pka/internal/remote"
 	"pka/internal/sampling"
 	"pka/internal/sim"
 	"pka/internal/stats"
@@ -361,6 +367,140 @@ func BenchmarkStudyKernelSched(b *testing.B) {
 			serial := run(1)
 			par := run(4)
 			b.ReportMetric(serial.Seconds()/par.Seconds(), "x")
+		}
+	})
+	// The steady-state cost of one kernel task must stay near zero: the
+	// simulator pool reuses cache arrays across tasks, so a warm task is a
+	// flush plus the simulation itself. The bound is loose headroom over
+	// the ~3 allocs measured when the pool was introduced (down from ~730
+	// on the always-fresh path); busting it means per-task simulator
+	// construction has crept back in.
+	b.Run("allocs", func(b *testing.B) {
+		k := w.Kernel(0)
+		task := sampling.KernelTask{Mode: sampling.ModeFull}
+		var ex *sampling.Exec
+		if _, err := ex.RunKernelTask(dev, &k, task); err != nil { // warm the pool
+			b.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			if _, err := ex.RunKernelTask(dev, &k, task); err != nil {
+				b.Fatal(err)
+			}
+		})
+		b.ReportMetric(allocs, "allocs/op")
+		if allocs > 32 {
+			b.Fatalf("warm kernel task costs %.0f allocs/op, want <= 32: the simulator pool is no longer being reused", allocs)
+		}
+	})
+}
+
+// benchWorkerEnv marks a re-exec of the test binary as a loopback pkad
+// worker process for BenchmarkStudyRemote.
+const benchWorkerEnv = "PKA_BENCH_WORKER"
+
+// TestMain lets the test binary double as its own worker fleet: when
+// benchWorkerEnv is set the process serves the remote-exec protocol on an
+// ephemeral loopback port (printing the address on stdout) instead of
+// running tests.
+func TestMain(m *testing.M) {
+	if os.Getenv(benchWorkerEnv) != "" {
+		runBenchWorker()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func runBenchWorker() {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench worker:", err)
+		os.Exit(1)
+	}
+	fmt.Println(ln.Addr().String())
+	srv := remote.NewServer(sampling.NewExec(nil, nil), 4)
+	if err := http.Serve(ln, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "bench worker:", err)
+		os.Exit(1)
+	}
+}
+
+// spawnBenchWorker re-execs the test binary as one loopback worker and
+// returns its base URL. Skips (not fails) when the process can't be
+// spawned, so sandboxed runners degrade gracefully.
+func spawnBenchWorker(b *testing.B) string {
+	b.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		b.Skipf("cannot locate test binary: %v", err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), benchWorkerEnv+"=1")
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		b.Skipf("worker stdout: %v", err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		b.Skipf("spawning loopback worker: %v", err)
+	}
+	b.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+	line, err := bufio.NewReader(out).ReadString('\n')
+	if err != nil {
+		b.Skipf("reading worker address: %v", err)
+	}
+	return "http://" + strings.TrimSpace(line)
+}
+
+// BenchmarkStudyRemote measures the scale-out tier: the Figure-6 sweep on
+// a fresh Study per iteration, entirely in-process versus dispatched to
+// two loopback worker processes. Separate processes sidestep GOMAXPROCS:
+// on a multi-core box the workers' simulations run on cores the local
+// process isn't using, so the sweep should beat single-process; on one
+// CPU the RPC overhead makes the comparison meaningless and the speedup
+// sub-bench skips.
+func BenchmarkStudyRemote(b *testing.B) {
+	ws := studyBenchSet(b)
+	sweep := func(d *remote.Dispatcher) time.Duration {
+		s := experiments.New()
+		s.Cfg.Parallelism = 4
+		s.SetWorkloads(ws)
+		if d != nil {
+			s.SetRemote(d)
+		}
+		t0 := time.Now()
+		if _, _, err := experiments.Figure6(s); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	pool := func(b *testing.B) *remote.Dispatcher {
+		return remote.NewDispatcher(remote.DispatcherOptions{
+			Workers: []string{spawnBenchWorker(b), spawnBenchWorker(b)},
+		})
+	}
+	b.Run("local", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweep(nil)
+		}
+	})
+	b.Run("workers=2", func(b *testing.B) {
+		d := pool(b)
+		for i := 0; i < b.N; i++ {
+			sweep(d)
+		}
+	})
+	b.Run("speedup", func(b *testing.B) {
+		if runtime.NumCPU() < 4 {
+			b.Skip("remote speedup needs >= 4 CPUs; worker processes on a single CPU only add RPC overhead")
+		}
+		d := pool(b)
+		for i := 0; i < b.N; i++ {
+			local := sweep(nil)
+			dist := sweep(d)
+			b.ReportMetric(local.Seconds()/dist.Seconds(), "x")
 		}
 	})
 }

@@ -49,9 +49,13 @@ type Benchmark struct {
 
 // Snapshot is the file layout of BENCH_study.json.
 type Snapshot struct {
-	GoVersion  string      `json:"go_version"`
-	CPU        string      `json:"cpu,omitempty"`
-	MaxProcs   int         `json:"gomaxprocs"`
+	GoVersion string `json:"go_version"`
+	CPU       string `json:"cpu,omitempty"`
+	MaxProcs  int    `json:"gomaxprocs"`
+	// Note is free-form context about the recording machine that the
+	// numbers can't carry themselves (e.g. why parallel sub-benches look
+	// inverted on a single-CPU recorder).
+	Note       string      `json:"note,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
@@ -61,9 +65,10 @@ func main() {
 	check := flag.String("check", "", "comma-separated benchmark names to gate on ns/op")
 	tolerance := flag.Float64("tolerance", 25, "allowed ns/op regression vs baseline, percent")
 	checkRatio := flag.String("check-ratio", "", "comma-separated NUM:DEN:MIN[:MINCPU] specs requiring ns/op(NUM)/ns/op(DEN) >= MIN in this run")
+	note := flag.String("note", "", "free-form note recorded in the snapshot (machine context, caveats)")
 	flag.Parse()
 
-	snap := Snapshot{GoVersion: runtime.Version(), MaxProcs: runtime.GOMAXPROCS(0)}
+	snap := Snapshot{GoVersion: runtime.Version(), MaxProcs: runtime.GOMAXPROCS(0), Note: *note}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -83,6 +88,10 @@ func main() {
 		fatal(fmt.Errorf("no benchmark lines on stdin"))
 	}
 
+	// Summarize before writing: when -o and -baseline name the same file
+	// (make bench re-recording over the committed snapshot) the deltas must
+	// reflect the committed numbers, not the ones just written.
+	printSummary(&snap, *baseline)
 	if *out != "" || *check == "" {
 		buf, err := json.MarshalIndent(snap, "", "  ")
 		if err != nil {
@@ -107,6 +116,50 @@ func main() {
 		if err := checkRatios(&snap, *checkRatio, runtime.NumCPU()); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// printSummary writes the human-readable run overview to stderr: one row
+// per benchmark with its ns/op and — when a baseline snapshot is readable —
+// a signed percent delta against the same benchmark there ("new" when the
+// baseline doesn't have it). The JSON on stdout stays the machine record;
+// this is the at-a-glance view for the person running `make bench`.
+func printSummary(snap *Snapshot, baselinePath string) {
+	var base *Snapshot
+	if baselinePath != "" {
+		if raw, err := os.ReadFile(baselinePath); err == nil {
+			var b Snapshot
+			if json.Unmarshal(raw, &b) == nil {
+				base = &b
+			}
+		}
+	}
+	w := 4
+	for _, b := range snap.Benchmarks {
+		if len(b.Name) > w {
+			w = len(b.Name)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks (%s, gomaxprocs %d)\n",
+		len(snap.Benchmarks), snap.GoVersion, snap.MaxProcs)
+	if base != nil {
+		fmt.Fprintf(os.Stderr, "  %-*s  %14s  %s\n", w, "name", "ns/op", "vs "+baselinePath)
+	} else {
+		fmt.Fprintf(os.Stderr, "  %-*s  %14s\n", w, "name", "ns/op")
+	}
+	for _, b := range snap.Benchmarks {
+		delta := ""
+		if base != nil {
+			delta = "new"
+			for i := range base.Benchmarks {
+				old := &base.Benchmarks[i]
+				if old.Name == b.Name && old.NsPerOp > 0 && b.NsPerOp > 0 {
+					delta = fmt.Sprintf("%+.2f%%", (b.NsPerOp/old.NsPerOp-1)*100)
+					break
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "  %-*s  %14.0f  %s\n", w, b.Name, b.NsPerOp, delta)
 	}
 }
 

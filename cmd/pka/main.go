@@ -31,22 +31,24 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list the 147 study workloads")
-		wname   = flag.String("w", "", "workload full name (suite/name)")
-		device  = flag.String("device", "volta", cli.DeviceNames)
-		target  = flag.Float64("target", 5, "PKS target selection error (%)")
-		sThresh = flag.Float64("s", pkp.DefaultThreshold, "PKP stability threshold s")
-		window  = flag.Int("n", pkp.DefaultWindow, "PKP rolling window (cycles)")
-		selOnly = flag.Bool("selection-only", false, "stop after Principal Kernel Selection")
-		maxK    = flag.Int("maxk", 20, "K-Means sweep bound")
-		jsonOut = flag.String("json", "", "write the selection (groups, representatives, weights) to this JSON file")
-		wfile   = flag.String("workload-file", "", "analyze a user-defined workload from a JSON document instead of -w")
-		par     = flag.Int("p", 0, "parallelism: concurrent pipeline stages (0 = GOMAXPROCS, 1 = serial)")
-		obsFl   cli.ObsFlags
-		cacheFl cli.CacheFlags
+		list     = flag.Bool("list", false, "list the 147 study workloads")
+		wname    = flag.String("w", "", "workload full name (suite/name)")
+		device   = flag.String("device", "volta", cli.DeviceNames)
+		target   = flag.Float64("target", 5, "PKS target selection error (%)")
+		sThresh  = flag.Float64("s", pkp.DefaultThreshold, "PKP stability threshold s")
+		window   = flag.Int("n", pkp.DefaultWindow, "PKP rolling window (cycles)")
+		selOnly  = flag.Bool("selection-only", false, "stop after Principal Kernel Selection")
+		maxK     = flag.Int("maxk", 20, "K-Means sweep bound")
+		jsonOut  = flag.String("json", "", "write the selection (groups, representatives, weights) to this JSON file")
+		wfile    = flag.String("workload-file", "", "analyze a user-defined workload from a JSON document instead of -w")
+		par      = flag.Int("p", 0, "parallelism: concurrent pipeline stages (0 = GOMAXPROCS, 1 = serial)")
+		obsFl    cli.ObsFlags
+		cacheFl  cli.CacheFlags
+		remoteFl cli.RemoteFlags
 	)
 	obsFl.Register(nil)
 	cacheFl.Register(nil)
+	remoteFl.Register(nil)
 	flag.Parse()
 
 	if *list {
@@ -99,6 +101,14 @@ func main() {
 		fatal(err)
 	}
 	exec := sampling.NewExec(parallel.NewScheduler(*par), store)
+	dispatcher, err := remoteFl.Start(store, observer)
+	if err != nil {
+		fatal(err)
+	}
+	if dispatcher != nil {
+		exec.SetRemote(dispatcher)
+		fmt.Fprintf(os.Stderr, "dispatching kernel tasks to %d worker(s)\n", dispatcher.Workers())
+	}
 	cacheStats := func() map[string]obs.CacheCounts {
 		h, m := exec.MemStats()
 		out := map[string]obs.CacheCounts{"kernel_mem": {Hits: h, Misses: m}}

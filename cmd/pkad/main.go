@@ -1,0 +1,80 @@
+// Command pkad is the PKA kernel-task worker daemon: it serves the
+// internal/remote exec protocol so pka/pkaexp studies can scale their
+// simulation work out across machines. Each request is one kernel task —
+// a pure function of (device, kernel features, task spec) — so a worker
+// holds no study state at all; it just burns cycles and, when -cache-dir
+// points at a (possibly shared) directory, persists every outcome in the
+// same content-addressed artifact store the clients use.
+//
+// Typical fleet member:
+//
+//	pkad -serve 0.0.0.0:9377 -worker-cap 8 -cache-dir /shared/pka-cache
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"pka/internal/cli"
+	"pka/internal/remote"
+	"pka/internal/sampling"
+)
+
+func main() {
+	var (
+		serve = flag.String("serve", "127.0.0.1:9377", "host:port to serve kernel-task execution on")
+		cap   = flag.Int("worker-cap", 4, "maximum tasks executing concurrently; extra requests are rejected 429 for the dispatcher to place elsewhere")
+		quiet = flag.Bool("quiet", false, "suppress the per-request access log on stderr")
+	)
+	var cacheFl cli.CacheFlags
+	cacheFl.Register(nil)
+	flag.Parse()
+
+	if err := run(*serve, *cap, *quiet, &cacheFl); err != nil {
+		fmt.Fprintln(os.Stderr, "pkad:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, capacity int, quiet bool, cacheFl *cli.CacheFlags) error {
+	store, err := cacheFl.Open()
+	if err != nil {
+		return err
+	}
+	logger := log.New(os.Stderr, "pkad ", log.LstdFlags|log.Lmicroseconds)
+
+	// The worker-side Exec layers mem-singleflight and the disk store over
+	// the local simulator but never a remote tier: workers execute, they do
+	// not forward (see sampling.Exec.RunKernelTask).
+	srv := remote.NewServer(sampling.NewExec(nil, store), capacity)
+	if !quiet {
+		srv.Logf = logger.Printf
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("serving kernel tasks on http://%s (capacity %d, cache %q)", ln.Addr(), capacity, cacheFl.Dir)
+
+	errc := make(chan error, 1)
+	go func() { errc <- http.Serve(ln, srv.Handler()) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		logger.Printf("caught %v, shutting down", s)
+	case err := <-errc:
+		_ = cacheFl.Finish(nil)
+		return err
+	}
+	_ = ln.Close()
+	return cacheFl.Finish(nil)
+}

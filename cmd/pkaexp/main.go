@@ -133,9 +133,11 @@ func main() {
 		par      = flag.Int("p", 0, "parallelism: concurrent per-workload artifact computations (0 = GOMAXPROCS, 1 = serial)")
 		obsFl    cli.ObsFlags
 		cacheFl  cli.CacheFlags
+		remoteFl cli.RemoteFlags
 	)
 	obsFl.Register(nil)
 	cacheFl.Register(nil)
+	remoteFl.Register(nil)
 	flag.Parse()
 
 	gens := generators()
@@ -172,6 +174,14 @@ func main() {
 		fatal(err)
 	}
 	s.SetArtifactStore(store)
+	dispatcher, err := remoteFl.Start(store, observer)
+	if err != nil {
+		fatal(err)
+	}
+	if dispatcher != nil {
+		s.SetRemote(dispatcher)
+		fmt.Fprintf(os.Stderr, "dispatching kernel tasks to %d worker(s)\n", dispatcher.Workers())
+	}
 	observer.RegisterCacheStats(s.CacheStats)
 	if *suite != "" {
 		ws := workload.BySuite(*suite)

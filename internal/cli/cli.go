@@ -17,11 +17,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"strings"
+	"time"
 
 	"pka/internal/artifact"
 	"pka/internal/gpu"
 	"pka/internal/obs"
 	"pka/internal/parallel"
+	"pka/internal/remote"
+	"pka/internal/sampling"
 	"pka/internal/workload"
 )
 
@@ -131,6 +134,7 @@ func debugMux(o *obs.Observer) *http.ServeMux {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		o.SyncCacheStats()
+		o.SyncRemoteStats()
 		o.Metrics.WritePrometheus(w) //nolint:errcheck // client went away
 	})
 	return mux
@@ -144,6 +148,7 @@ func (f *ObsFlags) Finish() error {
 		return nil
 	}
 	o.SyncCacheStats()
+	o.SyncRemoteStats()
 	if f.Trace != "" {
 		if err := writeFile(f.Trace, o.WriteChromeTrace); err != nil {
 			return fmt.Errorf("trace: %w", err)
@@ -236,6 +241,76 @@ func (f *CacheFlags) Finish(families func() map[string]obs.CacheCounts) error {
 	}
 	return nil
 }
+
+// RemoteFlags is the scale-out flag bundle both CLIs register: -workers
+// points the study's Exec ladder at a pool of pkad workers, -serve runs an
+// in-process worker alongside the study (handy for loopback smoke tests
+// and for donating this machine's spare capacity to a fleet sharing one
+// cache directory), and -hedge-after / -worker-cap tune the dispatcher.
+// Like the artifact cache, the remote tier only changes where cycles are
+// spent: output stays byte-identical with or without workers.
+type RemoteFlags struct {
+	Workers    string        // comma-separated worker base URLs; empty disables the remote tier
+	Serve      string        // host:port to serve an in-process worker on; empty disables
+	HedgeAfter time.Duration // hedge-delay floor
+	WorkerCap  int           // per-worker in-flight bound (dispatch) and serve capacity
+
+	dispatcher *remote.Dispatcher
+}
+
+// Register installs the remote flags on the flag set (the default set when
+// fs is nil).
+func (f *RemoteFlags) Register(fs *flag.FlagSet) {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	fs.StringVar(&f.Workers, "workers", "", "comma-separated pkad worker URLs to dispatch kernel tasks to (e.g. http://host:9377,http://host2:9377)")
+	fs.StringVar(&f.Serve, "serve", "", "also serve kernel-task execution as a pkad worker on this host:port")
+	fs.DurationVar(&f.HedgeAfter, "hedge-after", 100*time.Millisecond, "hedge a slow worker RPC onto a second worker after max(this, observed p95 latency)")
+	fs.IntVar(&f.WorkerCap, "worker-cap", 4, "bound on concurrent tasks per worker (both dispatching and serving)")
+}
+
+// Start wires the remote tier up. When -serve is set it starts an
+// in-process worker whose Exec shares the given artifact store but has no
+// remote tier of its own (workers never forward work, so fleets cannot
+// loop). When -workers is set it builds the hedging dispatcher, registers
+// its per-worker stats with the observer, and returns it for
+// Exec.SetRemote; otherwise it returns nil.
+func (f *RemoteFlags) Start(store *artifact.Store, o *obs.Observer) (*remote.Dispatcher, error) {
+	if f.Serve != "" {
+		srv := remote.NewServer(sampling.NewExec(nil, store), f.WorkerCap)
+		ln, err := net.Listen("tcp", f.Serve)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		go http.Serve(ln, srv.Handler()) //nolint:errcheck // lives until process exit
+		fmt.Fprintf(os.Stderr, "worker serving kernel tasks on http://%s%s (capacity %d)\n", ln.Addr(), remote.ExecPath, f.WorkerCap)
+	}
+	if f.Workers == "" {
+		return nil, nil
+	}
+	var urls []string
+	for _, u := range strings.Split(f.Workers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("-workers: no worker URLs in %q", f.Workers)
+	}
+	d := remote.NewDispatcher(remote.DispatcherOptions{
+		Workers:      urls,
+		CapPerWorker: f.WorkerCap,
+		HedgeAfter:   f.HedgeAfter,
+		Metrics:      o.RemoteMetrics(),
+	})
+	o.RegisterRemoteStats(d.Stats)
+	f.dispatcher = d
+	return d, nil
+}
+
+// Dispatcher returns the dispatcher Start built (nil without -workers).
+func (f *RemoteFlags) Dispatcher() *remote.Dispatcher { return f.dispatcher }
 
 func writeFile(path string, render func(w io.Writer) error) error {
 	g, err := os.Create(path)

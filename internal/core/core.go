@@ -60,10 +60,12 @@ type Config struct {
 	// are byte-identical with or without it.
 	Obs *obs.Observer
 	// Exec, when non-nil, runs every per-kernel simulation as a task on
-	// its kernel-granular scheduler and caches outcomes in memory and
-	// (when configured) in a persistent content-addressed artifact store.
-	// Results are byte-identical with or without it: task outcomes are
-	// merged back in kernel-launch order.
+	// its kernel-granular scheduler and resolves outcomes through its
+	// tier ladder: the in-memory singleflight cache, then the persistent
+	// content-addressed artifact store, then (when configured) a remote
+	// worker pool, then a fresh local simulation. Results are
+	// byte-identical with or without it — and at any tier mix — because
+	// task outcomes are pure and merged back in kernel-launch order.
 	Exec *sampling.Exec
 }
 

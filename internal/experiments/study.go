@@ -54,6 +54,7 @@ type Study struct {
 	execOnce sync.Once
 	ex       *sampling.Exec
 	store    *artifact.Store
+	remote   sampling.RemoteTier
 
 	selections parallel.Cache[string, *pks.Selection]
 	crossGen   parallel.Cache[string, pks.CrossGenResult]
@@ -111,15 +112,28 @@ func (s *Study) SetArtifactStore(st *artifact.Store) {
 	s.store = st
 }
 
+// SetRemote installs a remote worker tier between the disk cache and local
+// simulation in the study's executor ladder. Like SetArtifactStore, call
+// it before the first simulation; the tier never changes results, only
+// where cycles are spent. A nil tier is a no-op.
+func (s *Study) SetRemote(r sampling.RemoteTier) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.remote = r
+}
+
 // Exec returns the study's shared kernel-task executor, building it on
 // first call: kernel simulations from every generator land on one bounded
 // scheduler (longest task first) and share one outcome cache.
 func (s *Study) Exec() *sampling.Exec {
 	s.execOnce.Do(func() {
 		s.mu.Lock()
-		st := s.store
+		st, r := s.store, s.remote
 		s.mu.Unlock()
 		s.ex = sampling.NewExec(parallel.NewScheduler(s.Cfg.Parallelism), st)
+		if r != nil {
+			s.ex.SetRemote(r)
+		}
 	})
 	return s.ex
 }

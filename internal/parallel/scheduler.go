@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"container/heap"
+	"context"
 	"sync"
 )
 
@@ -98,9 +99,21 @@ func (s *Scheduler) work() {
 // the scheduler's workers, interleaved with tasks from any other SchedMap
 // in flight on the same Scheduler.
 func SchedMap[T, R any](s *Scheduler, items []T, cost func(item T) int64, fn func(i int, item T) (R, error)) ([]R, error) {
+	return SchedMapCtx(context.Background(), s, items, cost, fn)
+}
+
+// SchedMapCtx is SchedMap with cancellation: once ctx is done, items that
+// have not started yet are skipped (their slot reports ctx.Err()) while
+// items already running finish normally. The queue always drains — every
+// submitted task settles its WaitGroup slot whether it ran or was skipped —
+// so a cancelled call returns (never deadlocks) with the partial results
+// still in input order: completed items carry real values, skipped ones
+// their zero value. The returned error is the lowest-indexed failure,
+// which for a cancellation mid-run is the first skipped item's ctx.Err().
+func SchedMapCtx[T, R any](ctx context.Context, s *Scheduler, items []T, cost func(item T) int64, fn func(i int, item T) (R, error)) ([]R, error) {
 	n := len(items)
 	if n == 0 {
-		return nil, nil
+		return nil, ctx.Err()
 	}
 	results := make([]R, n)
 	errs := make([]error, n)
@@ -108,6 +121,10 @@ func SchedMap[T, R any](s *Scheduler, items []T, cost func(item T) int64, fn fun
 		obs := observer()
 		for i := range items {
 			i := i
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
 			if obs != nil {
 				obs.TaskStarted()
 			}
@@ -123,6 +140,10 @@ func SchedMap[T, R any](s *Scheduler, items []T, cost func(item T) int64, fn fun
 			i := i
 			s.submit(cost(items[i]), func() {
 				defer wg.Done()
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					return
+				}
 				results[i], errs[i] = protect(func() (R, error) { return fn(i, items[i]) })
 			})
 		}

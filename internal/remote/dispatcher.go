@@ -1,0 +1,389 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"pka/internal/gpu"
+	"pka/internal/obs"
+	"pka/internal/sampling"
+	"pka/internal/trace"
+)
+
+// DispatcherOptions configures a Dispatcher. Zero values take the listed
+// defaults.
+type DispatcherOptions struct {
+	// Workers is the pool's base URLs (e.g. "http://10.0.0.7:9377"). An
+	// empty pool is legal: every task falls back to local simulation.
+	Workers []string
+	// CapPerWorker bounds in-flight requests per worker (default 4). It
+	// should not exceed the worker's -worker-cap, or the surplus is spent
+	// on 429 round trips.
+	CapPerWorker int
+	// HedgeAfter is the floor of the hedge delay (default 100ms). The
+	// effective delay is max(HedgeAfter, observed p95 RPC latency), so
+	// hedges chase stragglers, not the steady state.
+	HedgeAfter time.Duration
+	// Timeout caps one RPC round trip (default 30s).
+	Timeout time.Duration
+	// BreakAfter is the consecutive-failure count that opens a worker's
+	// circuit breaker (default 3).
+	BreakAfter int
+	// Cooldown is how long an open breaker excludes its worker before the
+	// next trial request (default 5s).
+	Cooldown time.Duration
+	// Metrics receives the pka_remote_* counters (nil records nothing).
+	Metrics *obs.RemoteMetrics
+	// Client overrides the HTTP client (tests); nil builds a pooled one.
+	Client *http.Client
+}
+
+// latWindow is the ring of recent successful RPC latencies the hedge
+// quantile is computed over.
+const latWindow = 256
+
+// workerState is the dispatcher's book-keeping for one worker.
+type workerState struct {
+	url         string
+	inflight    int
+	pendingCost int64 // sum of outstanding requests' warp-instruction costs
+	consecFails int
+	brokenUntil time.Time
+	sent        uint64
+	fails       uint64
+	busy        uint64
+}
+
+// Dispatcher places kernel tasks on a worker pool. It implements
+// sampling.RemoteTier and is safe for concurrent use.
+//
+// Placement is weighted least-loaded: among workers that are not
+// circuit-broken and have in-flight headroom, it picks the one with the
+// smallest outstanding warp-instruction cost — the same estimate the local
+// scheduler prioritizes by — so one slow giant task does not queue ahead
+// of a dozen small ones on the same worker. Slow requests are hedged to a
+// second worker after a latency quantile; the first result wins and the
+// loser is cancelled. Workers that fail repeatedly are circuit-broken for
+// a cooldown. When nothing is placeable the task reports ok=false and the
+// Exec ladder runs it locally — degradation is always graceful, never an
+// error.
+type Dispatcher struct {
+	capPer     int
+	hedgeFloor time.Duration
+	timeout    time.Duration
+	breakAfter int
+	cooldown   time.Duration
+	m          *obs.RemoteMetrics
+	client     *http.Client
+	now        func() time.Time
+
+	mu      sync.Mutex
+	workers []*workerState
+	lat     [latWindow]float64 // seconds
+	latN    int                // total successes recorded (ring cursor = latN % latWindow)
+}
+
+// NewDispatcher builds a dispatcher over opts.Workers.
+func NewDispatcher(opts DispatcherOptions) *Dispatcher {
+	if opts.CapPerWorker <= 0 {
+		opts.CapPerWorker = 4
+	}
+	if opts.HedgeAfter <= 0 {
+		opts.HedgeAfter = 100 * time.Millisecond
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	if opts.BreakAfter <= 0 {
+		opts.BreakAfter = 3
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = 5 * time.Second
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = &obs.RemoteMetrics{} // nil-safe instruments
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 2 * opts.CapPerWorker,
+		}}
+	}
+	d := &Dispatcher{
+		capPer:     opts.CapPerWorker,
+		hedgeFloor: opts.HedgeAfter,
+		timeout:    opts.Timeout,
+		breakAfter: opts.BreakAfter,
+		cooldown:   opts.Cooldown,
+		m:          opts.Metrics,
+		client:     client,
+		now:        time.Now,
+	}
+	for _, u := range opts.Workers {
+		if u != "" {
+			d.workers = append(d.workers, &workerState{url: u})
+		}
+	}
+	return d
+}
+
+// Workers returns the pool size.
+func (d *Dispatcher) Workers() int { return len(d.workers) }
+
+// Stats snapshots per-worker dispatcher state for the obs pull pattern.
+func (d *Dispatcher) Stats() []obs.RemoteWorkerStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.now()
+	out := make([]obs.RemoteWorkerStats, len(d.workers))
+	for i, w := range d.workers {
+		out[i] = obs.RemoteWorkerStats{
+			URL:         w.url,
+			InFlight:    w.inflight,
+			PendingCost: w.pendingCost,
+			Sent:        w.sent,
+			Failures:    w.fails,
+			Busy:        w.busy,
+			BreakerOpen: w.brokenUntil.After(now),
+		}
+	}
+	return out
+}
+
+// reserve picks the eligible worker with the least outstanding cost (ties
+// to the lowest index), reserves an in-flight slot on it, and marks it
+// tried so hedges and retries of the same task spread across the pool. It
+// returns nil when no worker is placeable.
+func (d *Dispatcher) reserve(tried map[int]bool, cost int64) *workerState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.now()
+	best := -1
+	for i, w := range d.workers {
+		if tried[i] || w.inflight >= d.capPer || w.brokenUntil.After(now) {
+			continue
+		}
+		if best < 0 || w.pendingCost < d.workers[best].pendingCost {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	tried[best] = true
+	w := d.workers[best]
+	w.inflight++
+	w.pendingCost += cost
+	w.sent++
+	return w
+}
+
+func (d *Dispatcher) release(w *workerState, cost int64) {
+	d.mu.Lock()
+	w.inflight--
+	w.pendingCost -= cost
+	d.mu.Unlock()
+}
+
+// hedgeDelay returns max(floor, p95 of the recent-success latency ring).
+func (d *Dispatcher) hedgeDelay() time.Duration {
+	d.mu.Lock()
+	n := d.latN
+	if n > latWindow {
+		n = latWindow
+	}
+	samples := append([]float64(nil), d.lat[:n]...)
+	d.mu.Unlock()
+	if len(samples) < 8 {
+		return d.hedgeFloor
+	}
+	sort.Float64s(samples)
+	p95 := time.Duration(samples[(len(samples)*95)/100] * float64(time.Second))
+	if p95 > d.hedgeFloor {
+		return p95
+	}
+	return d.hedgeFloor
+}
+
+type rpcStatus int
+
+const (
+	rpcOK rpcStatus = iota
+	rpcBusy
+	rpcFailed
+)
+
+// rpc performs one exec round trip against w and settles the worker's
+// breaker state. The in-flight reservation made by reserve is released
+// here, whatever the outcome.
+func (d *Dispatcher) rpc(ctx context.Context, w *workerState, body []byte, cost int64) (sampling.KernelOutcome, rpcStatus) {
+	defer d.release(w, cost)
+	d.m.RPCs.Inc()
+	start := d.now()
+	oc, st := d.roundTrip(ctx, w.url, body)
+	switch st {
+	case rpcOK:
+		d.m.RPCSuccess.Inc()
+		sec := d.now().Sub(start).Seconds()
+		d.m.RPCLatency.Observe(sec)
+		d.mu.Lock()
+		d.lat[d.latN%latWindow] = sec
+		d.latN++
+		w.consecFails = 0
+		d.mu.Unlock()
+	case rpcBusy:
+		// The worker is healthy, just full: count it, but a full worker
+		// must not trip the breaker or the pool collapses under load.
+		d.m.Busy.Inc()
+		d.mu.Lock()
+		w.busy++
+		d.mu.Unlock()
+	case rpcFailed:
+		d.m.RPCFailures.Inc()
+		d.mu.Lock()
+		w.fails++
+		w.consecFails++
+		if w.consecFails >= d.breakAfter {
+			w.brokenUntil = d.now().Add(d.cooldown)
+			w.consecFails = 0
+			d.m.BreakerOpens.Inc()
+		}
+		d.mu.Unlock()
+	}
+	return oc, st
+}
+
+// roundTrip is the bare HTTP exchange: anything other than a 200 carrying
+// a decodable outcome under the expected key is a failure (except 429,
+// which is the distinct "busy" signal).
+func (d *Dispatcher) roundTrip(ctx context.Context, base string, body []byte) (sampling.KernelOutcome, rpcStatus) {
+	ctx, cancel := context.WithTimeout(ctx, d.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+ExecPath, bytes.NewReader(body))
+	if err != nil {
+		return sampling.KernelOutcome{}, rpcFailed
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return sampling.KernelOutcome{}, rpcFailed
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return sampling.KernelOutcome{}, rpcBusy
+	}
+	if resp.StatusCode != http.StatusOK {
+		return sampling.KernelOutcome{}, rpcFailed
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, MaxRequestBytes))
+	if err != nil {
+		return sampling.KernelOutcome{}, rpcFailed
+	}
+	var er ExecResponse
+	if err := json.Unmarshal(raw, &er); err != nil {
+		return sampling.KernelOutcome{}, rpcFailed
+	}
+	oc, err := sampling.DecodeOutcome(er.Outcome)
+	if err != nil {
+		return sampling.KernelOutcome{}, rpcFailed
+	}
+	return oc, rpcOK
+}
+
+type attemptResult struct {
+	oc    sampling.KernelOutcome
+	st    rpcStatus
+	hedge bool
+}
+
+// ExecTask implements sampling.RemoteTier. Each task runs as a sequence of
+// "waves": a primary RPC to the least-loaded eligible worker, plus — if
+// the primary outlives the hedge delay — one hedged duplicate on another
+// untried worker, first valid result winning and the loser cancelled.
+// Failed waves retry on remaining workers until the pool is exhausted;
+// only then does the task fall back to the caller's local simulator.
+func (d *Dispatcher) ExecTask(key string, dev gpu.Device, k *trace.KernelDesc, task sampling.KernelTask, cost int64) (sampling.KernelOutcome, bool) {
+	if d == nil {
+		// A typed-nil Dispatcher installed as a RemoteTier behaves like no
+		// remote tier at all.
+		return sampling.KernelOutcome{}, false
+	}
+	if len(d.workers) == 0 {
+		d.m.FallbackLocal.Inc()
+		return sampling.KernelOutcome{}, false
+	}
+	body, err := json.Marshal(ExecRequest{Key: key, Device: dev, Kernel: *k, Task: task})
+	if err != nil {
+		d.m.FallbackLocal.Inc()
+		return sampling.KernelOutcome{}, false
+	}
+	tried := make(map[int]bool, len(d.workers))
+	for {
+		w := d.reserve(tried, cost)
+		if w == nil {
+			break
+		}
+		if oc, ok := d.race(w, tried, body, cost); ok {
+			d.m.Tasks.Inc()
+			return oc, true
+		}
+	}
+	d.m.FallbackLocal.Inc()
+	return sampling.KernelOutcome{}, false
+}
+
+// race runs one wave: the already-reserved primary w, hedged once onto a
+// different worker if w is slow. It returns ok=false only when every RPC
+// it launched has settled without a valid outcome.
+func (d *Dispatcher) race(w *workerState, tried map[int]bool, body []byte, cost int64) (sampling.KernelOutcome, bool) {
+	ctx, cancelAll := context.WithCancel(context.Background())
+	defer cancelAll()
+	// Buffered to the maximum attempts in flight, so a losing RPC's send
+	// never blocks after the winner returns.
+	ch := make(chan attemptResult, 2)
+	go func() {
+		oc, st := d.rpc(ctx, w, body, cost)
+		ch <- attemptResult{oc: oc, st: st}
+	}()
+	hedge := time.NewTimer(d.hedgeDelay())
+	defer hedge.Stop()
+	outstanding := 1
+	for {
+		select {
+		case r := <-ch:
+			outstanding--
+			if r.st == rpcOK {
+				if r.hedge {
+					d.m.HedgeWins.Inc()
+				}
+				return r.oc, true
+			}
+			if outstanding == 0 {
+				return sampling.KernelOutcome{}, false
+			}
+		case <-hedge.C:
+			// The primary has outlived the p95 of recent successes: launch
+			// one duplicate on a different worker. The timer fires once, so
+			// a wave is at most two RPCs wide.
+			w2 := d.reserve(tried, cost)
+			if w2 == nil {
+				continue
+			}
+			d.m.Hedges.Inc()
+			outstanding++
+			go func() {
+				oc, st := d.rpc(ctx, w2, body, cost)
+				ch <- attemptResult{oc: oc, st: st, hedge: true}
+			}()
+		}
+	}
+}

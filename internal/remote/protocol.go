@@ -1,0 +1,85 @@
+// Package remote is the PKA study engine's scale-out execution tier: a
+// worker daemon (cmd/pkad) that serves kernel-task execution over a
+// minimal HTTP/JSON protocol, and a client-side Dispatcher that plugs into
+// the sampling.Exec ladder between the disk artifact cache and the fresh
+// local simulator.
+//
+// The protocol leans entirely on the purity property the task layer
+// established: a task outcome is a function of (device, kernel features,
+// task spec) and nothing else, and the content key fixes the encoding
+// version. That makes the tier free to be sloppy about delivery — requests
+// can be hedged, duplicated, retried on another worker, or abandoned to
+// the local simulator — without ever changing a study's results. Workers
+// persist outcomes in the same content-addressed artifact store the client
+// uses (same SHA-256 keys, same 33-byte payload), so a fleet pointed at a
+// shared directory warms one cache.
+package remote
+
+import (
+	"fmt"
+
+	"pka/internal/gpu"
+	"pka/internal/sampling"
+	"pka/internal/trace"
+)
+
+// Protocol endpoints and limits.
+const (
+	// ExecPath executes one kernel task (POST, JSON body).
+	ExecPath = "/v1/exec"
+	// HealthPath reports worker occupancy and cache statistics (GET).
+	HealthPath = "/v1/health"
+	// MaxRequestBytes bounds an exec request body. A kernel descriptor plus
+	// device config is a few hundred bytes; anything near the limit is
+	// garbage, not a bigger kernel.
+	MaxRequestBytes = 1 << 20
+)
+
+// ExecRequest asks a worker to execute one kernel task. Key is the
+// client-computed content key; the worker recomputes it from the decoded
+// fields and rejects on mismatch, which turns silent schema drift between
+// client and worker builds into an immediate, observable error instead of
+// a poisoned shared cache.
+type ExecRequest struct {
+	Key    string              `json:"key"`
+	Device gpu.Device          `json:"device"`
+	Kernel trace.KernelDesc    `json:"kernel"`
+	Task   sampling.KernelTask `json:"task"`
+}
+
+// ExecResponse carries one task outcome back. Outcome is the
+// sampling.EncodeOutcome payload (base64 inside JSON), the exact bytes the
+// artifact store holds under the request key.
+type ExecResponse struct {
+	Outcome []byte `json:"outcome"`
+}
+
+// Health is the worker's self-report.
+type Health struct {
+	Capacity    int         `json:"capacity"`
+	InFlight    int         `json:"in_flight"`
+	Served      uint64      `json:"served"`
+	BusyRejects uint64      `json:"busy_rejects"`
+	Failed      uint64      `json:"failed"`
+	Cache       CacheHealth `json:"cache"`
+}
+
+// CacheHealth is the worker-local artifact store's counters (zero when the
+// worker runs without a store).
+type CacheHealth struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Writes  uint64 `json:"writes"`
+	Entries int64  `json:"entries"`
+}
+
+// Validate checks an ExecRequest for the errors worth a distinct message.
+func (r *ExecRequest) Validate() error {
+	if r.Key == "" {
+		return fmt.Errorf("remote: request missing key")
+	}
+	if want := sampling.TaskKey(r.Device, &r.Kernel, r.Task); want != r.Key {
+		return fmt.Errorf("remote: key mismatch (client %s, worker derives %s): client and worker builds disagree on task semantics", r.Key, want)
+	}
+	return nil
+}

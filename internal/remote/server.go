@@ -1,0 +1,119 @@
+package remote
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"pka/internal/sampling"
+)
+
+// Server executes kernel tasks on behalf of remote dispatchers. It wraps a
+// worker-side sampling.Exec — which layers the mem-singleflight and disk
+// artifact tiers over the local simulator but deliberately never a remote
+// tier of its own (see Exec.RunKernelTask), so a misconfigured fleet
+// cannot forward requests in a loop.
+//
+// Admission is a plain semaphore: at most capacity tasks execute at once,
+// and requests beyond that are rejected immediately with 429 rather than
+// queued. Dispatchers treat 429 as "place it somewhere else", which keeps
+// the queueing (and its placement intelligence) on the client where the
+// cost estimates live.
+type Server struct {
+	exec *sampling.Exec
+	cap  int
+	sem  chan struct{}
+
+	served atomic.Uint64
+	busy   atomic.Uint64
+	failed atomic.Uint64
+
+	// Logf, when set, receives one line per exec request (access log).
+	Logf func(format string, args ...any)
+}
+
+// NewServer builds a worker around exec with the given concurrent-task
+// capacity (minimum 1).
+func NewServer(exec *sampling.Exec, capacity int) *Server {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Server{exec: exec, cap: capacity, sem: make(chan struct{}, capacity)}
+}
+
+// Handler returns the worker's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(ExecPath, s.handleExec)
+	mux.HandleFunc(HealthPath, s.handleHealth)
+	return mux
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.busy.Add(1)
+		s.logf("busy reject (capacity %d)", s.cap)
+		http.Error(w, "worker at capacity", http.StatusTooManyRequests)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxRequestBytes+1))
+	if err != nil || len(body) > MaxRequestBytes {
+		s.failed.Add(1)
+		http.Error(w, "unreadable or oversized body", http.StatusBadRequest)
+		return
+	}
+	var req ExecRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.failed.Add(1)
+		s.logf("bad request: %v", err)
+		http.Error(w, "malformed request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		s.failed.Add(1)
+		s.logf("rejected request: %v", err)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	oc, err := s.exec.RunKernelTask(req.Device, &req.Kernel, req.Task)
+	if err != nil {
+		s.failed.Add(1)
+		s.logf("task %s failed: %v", req.Key[:12], err)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.served.Add(1)
+	s.logf("served %s kernel=%q mode=%d", req.Key[:12], req.Kernel.Name, req.Task.Mode)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(ExecResponse{Outcome: sampling.EncodeOutcome(oc)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := Health{
+		Capacity:    s.cap,
+		InFlight:    len(s.sem),
+		Served:      s.served.Load(),
+		BusyRejects: s.busy.Load(),
+		Failed:      s.failed.Load(),
+	}
+	if st := s.exec.Store(); st != nil {
+		cs := st.Stats()
+		h.Cache = CacheHealth{Hits: cs.Hits, Misses: cs.Misses, Writes: cs.Writes, Entries: cs.Entries}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(h)
+}

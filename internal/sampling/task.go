@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"pka/internal/artifact"
 	"pka/internal/gpu"
@@ -186,8 +187,11 @@ func TaskKey(dev gpu.Device, k *trace.KernelDesc, t KernelTask) string {
 // outcomeSize is the fixed on-disk payload size of one KernelOutcome.
 const outcomeSize = 8 + 8 + 8 + 8 + 1
 
-// encodeOutcome serializes an outcome exactly (floats as IEEE-754 bits).
-func encodeOutcome(oc KernelOutcome) []byte {
+// EncodeOutcome serializes an outcome exactly (floats as IEEE-754 bits).
+// The encoding doubles as the disk-cache payload and the remote-worker
+// wire format, so a worker's artifact store and the client's are
+// interchangeable byte-for-byte.
+func EncodeOutcome(oc KernelOutcome) []byte {
 	b := make([]byte, outcomeSize)
 	binary.LittleEndian.PutUint64(b[0:], uint64(oc.ProjCycles))
 	binary.LittleEndian.PutUint64(b[8:], uint64(oc.SimWarpInstrs))
@@ -204,8 +208,8 @@ func encodeOutcome(oc KernelOutcome) []byte {
 	return b
 }
 
-// decodeOutcome parses encodeOutcome's layout, rejecting anything else.
-func decodeOutcome(b []byte) (KernelOutcome, error) {
+// DecodeOutcome parses EncodeOutcome's layout, rejecting anything else.
+func DecodeOutcome(b []byte) (KernelOutcome, error) {
 	if len(b) != outcomeSize || b[32] > 3 {
 		return KernelOutcome{}, fmt.Errorf("sampling: outcome payload malformed (%d bytes)", len(b))
 	}
@@ -219,21 +223,45 @@ func decodeOutcome(b []byte) (KernelOutcome, error) {
 	}, nil
 }
 
+// RemoteTier executes one kernel task on a remote worker pool. It sits
+// between the disk artifact cache and the fresh-local-sim fallback in the
+// Exec ladder. Implementations must be safe for concurrent use and must
+// never surface transport or worker failures to the study: ok=false means
+// "could not obtain the outcome remotely, run it locally", whatever the
+// reason. cost is the kernel's dynamic warp-instruction count — the same
+// estimate the scheduler prioritizes by — and seeds least-loaded placement.
+type RemoteTier interface {
+	ExecTask(key string, dev gpu.Device, k *trace.KernelDesc, task KernelTask, cost int64) (KernelOutcome, bool)
+}
+
 // Exec bundles the execution resources one study run shares across all of
 // its kernel tasks: the global scheduler, the persistent artifact store,
-// and an in-memory singleflight outcome cache layered above it. A nil
-// *Exec is valid and degrades every entry point to the serial, uncached
-// behaviour — one fresh simulator per kernel on the calling goroutine.
+// an in-memory singleflight outcome cache layered above it, and an
+// optional remote worker tier between the disk cache and local simulation.
+// A nil *Exec is valid and degrades every entry point to the serial,
+// uncached behaviour — one fresh simulator per kernel on the calling
+// goroutine.
 type Exec struct {
-	sched *parallel.Scheduler
-	store *artifact.Store
-	mem   parallel.Cache[string, KernelOutcome]
+	sched  *parallel.Scheduler
+	store  *artifact.Store
+	remote RemoteTier
+	mem    parallel.Cache[string, KernelOutcome]
 }
 
 // NewExec builds an Exec. Either resource may be nil: a nil scheduler runs
 // tasks inline on the caller, a nil store caches in memory only.
 func NewExec(sched *parallel.Scheduler, store *artifact.Store) *Exec {
 	return &Exec{sched: sched, store: store}
+}
+
+// SetRemote installs (or, with nil, removes) the remote worker tier.
+// Because outcomes are pure functions of the content key and the fold is
+// in launch order, adding or removing a remote tier can never change a
+// study's results — only where the simulation cycles are spent.
+func (e *Exec) SetRemote(r RemoteTier) {
+	if e != nil {
+		e.remote = r
+	}
 }
 
 // Scheduler returns the exec's scheduler (nil for inline execution).
@@ -277,34 +305,84 @@ func (e *Exec) RunKernels(dev gpu.Device, task KernelTask, kernels []trace.Kerne
 }
 
 // runKernel computes one outcome through the cache layers: in-memory
-// singleflight → artifact store → fresh simulator.
+// singleflight → artifact store → remote workers → fresh simulator.
 func (e *Exec) runKernel(dev gpu.Device, k trace.KernelDesc, task KernelTask, to TaskObs) (KernelOutcome, error) {
 	if e == nil {
 		return simulateKernel(dev, k, task, to)
 	}
+	return e.run(dev, k, task, to, true)
+}
+
+// RunKernelTask executes one kernel task through the mem-singleflight and
+// disk tiers but never the remote tier — it is the worker-side entry
+// point, and skipping the remote hop is what keeps a misconfigured fleet
+// (workers pointed at each other) from looping requests forever.
+func (e *Exec) RunKernelTask(dev gpu.Device, k *trace.KernelDesc, task KernelTask) (KernelOutcome, error) {
+	if e == nil {
+		return simulateKernel(dev, *k, task, TaskObs{})
+	}
+	return e.run(dev, *k, task, TaskObs{}, false)
+}
+
+func (e *Exec) run(dev gpu.Device, k trace.KernelDesc, task KernelTask, to TaskObs, allowRemote bool) (KernelOutcome, error) {
 	key := TaskKey(dev, &k, task)
 	return e.mem.Do(key, func() (KernelOutcome, error) {
 		if raw, ok := e.store.Get(key); ok {
-			if oc, err := decodeOutcome(raw); err == nil {
+			if oc, err := DecodeOutcome(raw); err == nil {
 				return oc, nil
 			}
 			// Undecodable payload under a valid checksum means schema
 			// drift without a version bump; recompute and overwrite.
 		}
+		if allowRemote && e.remote != nil {
+			if oc, ok := e.remote.ExecTask(key, dev, &k, task, k.TotalWarpInstructions(dev)); ok {
+				_ = e.store.Put(key, EncodeOutcome(oc)) // warm the local disk tier too
+				return oc, nil
+			}
+			// Pool empty, degraded, or the task failed everywhere it was
+			// tried: fall through to the local simulator. Never an error.
+		}
 		oc, err := simulateKernel(dev, k, task, to)
 		if err != nil {
 			return KernelOutcome{}, err
 		}
-		_ = e.store.Put(key, encodeOutcome(oc)) // best-effort persistence
+		_ = e.store.Put(key, EncodeOutcome(oc)) // best-effort persistence
 		return oc, nil
 	})
 }
 
-// simulateKernel runs one kernel task on a fresh simulator. Fresh matters:
+// simPool recycles simulators across kernel tasks. A cold-start simulator
+// allocates every SM's warp/block/ready arrays plus all L1s and the L2 —
+// ~730 allocations — and the study layer churns through one per task.
+// Entries are stored flushed (cold caches), so acquireSim only has to
+// verify the device matches before reuse.
+var simPool sync.Pool
+
+// acquireSim returns a cold simulator for dev: a flushed pooled one when
+// the device matches, a fresh one otherwise.
+func acquireSim(dev gpu.Device) *sim.Simulator {
+	if s, ok := simPool.Get().(*sim.Simulator); ok && s.Device() == dev {
+		return s
+	}
+	// Pool miss, or a simulator for a different device (multi-device
+	// studies); the mismatched one is dropped and rebuilt on demand.
+	return sim.New(dev)
+}
+
+// releaseSim flushes s back to the cold state and pools it.
+func releaseSim(s *sim.Simulator) {
+	s.Flush()
+	simPool.Put(s)
+}
+
+// simulateKernel runs one kernel task on a cold simulator. Cold matters:
 // starting every kernel from cold caches is what makes the outcome a pure
-// function of the inputs in the key.
+// function of the inputs in the key. Simulators are pooled and flushed
+// between tasks, which is observationally identical to sim.New per task
+// (see Simulator.Flush) without re-paying the construction allocations.
 func simulateKernel(dev gpu.Device, k trace.KernelDesc, task KernelTask, to TaskObs) (KernelOutcome, error) {
-	s := sim.New(dev)
+	s := acquireSim(dev)
+	defer releaseSim(s)
 	switch task.Mode {
 	case ModeFull:
 		res, err := s.RunKernel(&k, sim.Options{Obs: to.Sim})

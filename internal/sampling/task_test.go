@@ -124,7 +124,7 @@ func TestOutcomeCodecRoundtrip(t *testing.T) {
 		{Capped: true, Truncated: true},
 	}
 	for _, oc := range cases {
-		got, err := decodeOutcome(encodeOutcome(oc))
+		got, err := DecodeOutcome(EncodeOutcome(oc))
 		if err != nil {
 			t.Fatalf("roundtrip of %+v: %v", oc, err)
 		}
@@ -133,13 +133,13 @@ func TestOutcomeCodecRoundtrip(t *testing.T) {
 		}
 	}
 	for _, bad := range [][]byte{nil, make([]byte, outcomeSize-1), make([]byte, outcomeSize+1)} {
-		if _, err := decodeOutcome(bad); err == nil {
+		if _, err := DecodeOutcome(bad); err == nil {
 			t.Fatalf("decode accepted %d bytes", len(bad))
 		}
 	}
-	withBadFlags := encodeOutcome(KernelOutcome{})
+	withBadFlags := EncodeOutcome(KernelOutcome{})
 	withBadFlags[32] = 4
-	if _, err := decodeOutcome(withBadFlags); err == nil {
+	if _, err := DecodeOutcome(withBadFlags); err == nil {
 		t.Fatal("decode accepted unknown flag bits")
 	}
 }

@@ -14,7 +14,8 @@
 // kernel-task scheduler and the content-addressed artifact cache in
 // internal/sampling and internal/artifact are built on. Code that reuses
 // one Simulator across kernels (cache state carries over) must not be
-// cached under those content keys.
+// cached under those content keys — unless it calls Flush between
+// kernels, which restores the cold-cache state of a fresh Simulator.
 package sim
 
 import (
@@ -197,6 +198,23 @@ func New(dev gpu.Device) *Simulator {
 
 // Device returns the simulated device configuration.
 func (s *Simulator) Device() gpu.Device { return s.dev }
+
+// Flush restores the simulator to the state of a freshly constructed one:
+// all cache lines invalidated, statistics zeroed, and the DRAM pipe
+// re-aligned to cycle zero. RunKernel already resets every other piece of
+// per-kernel state at launch (SM arrays are zeroed, the wheel and heaps
+// cleared), so after Flush a reused Simulator is observationally identical
+// to sim.New(dev) — which is what lets the study layer pool simulators
+// across kernel tasks without breaking the pure-function property the
+// content-addressed cache keys rely on.
+func (s *Simulator) Flush() {
+	s.l2.Flush()
+	for _, c := range s.l1 {
+		c.Flush()
+	}
+	s.dram.ResetStats()
+	s.dram.Rebase()
+}
 
 // buildPattern produces the kernel's per-thread instruction-class sequence,
 // deterministically shuffled so memory operations interleave with compute
