@@ -15,15 +15,17 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detect the concurrency layer. internal/parallel and internal/obs
-# (lock-free instruments, concurrent tracer/audit) are fast enough to
-# race in full; the experiments and workload suites run with -short so the
-# concurrency regression tests (singleflight, 64-goroutine stress, fuzz
-# seed corpus) execute under the detector without paying for the full
-# artifact pipeline at ~10x race overhead. `make test` covers the heavy
-# paths (including the parallel-vs-serial determinism golden) natively.
+# Race-detect the concurrency layer. internal/parallel, internal/obs
+# (lock-free instruments, concurrent tracer/audit) and internal/serve
+# (the serving tier: concurrent admission, weighted-fair queue, fault
+# injection) are fast enough to race in full; the experiments and
+# workload suites run with -short so the concurrency regression tests
+# (singleflight, 64-goroutine stress, fuzz seed corpus) execute under
+# the detector without paying for the full artifact pipeline at ~10x
+# race overhead. `make test` covers the heavy paths (including the
+# parallel-vs-serial determinism golden) natively.
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/obs/...
+	$(GO) test -race ./internal/parallel/... ./internal/obs/... ./internal/serve/...
 	$(GO) test -race -short ./internal/experiments/... ./internal/workload/...
 
 # Snapshot the perf trajectory: substrate microbenchmarks at full benchtime
@@ -33,7 +35,7 @@ race:
 bench:
 	@{ $(GO) test -run NONE -bench 'SimTick' -benchmem ./internal/sim ; \
 	   $(GO) test -run NONE -bench 'SimulatorThroughput|RollingDetector|KMeansSweep|SiliconModel|WorkloadGeneration' -benchmem . ; \
-	   $(GO) test -run NONE -bench 'StudyParallel|StudyKernelSched|StudyCache|StudyRemote' -benchtime=1x . ; } \
+	   $(GO) test -run NONE -bench 'StudyParallel|StudyKernelSched|StudyCache|StudyRemote|Serve' -benchtime=1x . ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_study.json -baseline BENCH_study.json \
 	    -note "recorded on the 1-CPU reference box: parallel and remote sub-benches (StudyParallel/p=4, StudyRemote/workers=2) are slower than their serial arms there because fan-out only adds overhead without cores to spread across; their speedup gates apply on >= 4 CPUs"
 	@echo wrote BENCH_study.json
@@ -50,7 +52,10 @@ bench-all:
 # warm artifact cache must be at least 5x faster than cold, and two
 # loopback worker processes must beat single-process by 1.5x (also
 # skipped below 4 CPUs — worker processes on one core only add RPC
-# overhead).
+# overhead). The third stage bounds the serving tier's overhead: the
+# same request batch through the HTTP server (decode, admission,
+# weighted-fair queue, marshaling) may cost at most 3x the serial batch
+# path, and the open-loop qps arm records client-observed p50/p99.
 bench-check:
 	@{ $(GO) test -run NONE -bench 'SimulatorThroughput' -benchtime=5x . ; \
 	   $(GO) test -run NONE -bench 'KMeansSweep' -benchtime=5x . ; } \
@@ -59,5 +64,8 @@ bench-check:
 	@$(GO) test -run NONE -bench 'StudyParallel/p=|StudyCache/(cold|warm)|StudyRemote/(local|workers)' -benchtime=1x . \
 	| $(GO) run ./cmd/benchjson -o /dev/null \
 	    -check-ratio 'StudyParallel/p=1:StudyParallel/p=4:1.5:4,StudyCache/cold:StudyCache/warm:5,StudyRemote/local:StudyRemote/workers=2:1.5:4'
+	@$(GO) test -run NONE -bench 'Serve/(direct|served|qps)' -benchtime=1x . \
+	| $(GO) run ./cmd/benchjson -o /dev/null \
+	    -check-max-ratio 'Serve/served:Serve/direct:3'
 
 ci: vet build test race bench-check

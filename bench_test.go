@@ -17,9 +17,13 @@ package pka
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -36,6 +40,7 @@ import (
 	"pka/internal/pkp"
 	"pka/internal/remote"
 	"pka/internal/sampling"
+	"pka/internal/serve"
 	"pka/internal/sim"
 	"pka/internal/stats"
 	"pka/internal/workload"
@@ -545,6 +550,121 @@ func BenchmarkStudyCache(b *testing.B) {
 			warm := sweep(warmDir)
 			b.ReportMetric(cold.Seconds()/warm.Seconds(), "x")
 		}
+	})
+}
+
+// serveBenchTemplates builds the serving-tier bench request set: a mixed-
+// tenant batch of pka studies on the same workload, each with a distinct
+// PKP window so every request has a distinct content key — no arm gets to
+// collapse the batch into one simulation via the mem cache, and the bench
+// measures real study execution rather than cache lookups.
+func serveBenchTemplates() []serve.StudyRequest {
+	tenants := []string{"prod", "prod", "prod", "batch"}
+	reqs := make([]serve.StudyRequest, 12)
+	for i := range reqs {
+		reqs[i] = serve.StudyRequest{
+			Tenant:   tenants[i%len(tenants)],
+			Workload: "Rodinia/hots_512",
+			Window:   1000 + i,
+		}
+	}
+	return reqs
+}
+
+// BenchmarkServe measures the serving tier against the batch path it
+// wraps. `direct` is the reference: the same request set run serially
+// through serve.Run on a fresh Exec. `served` pushes the set through a
+// real HTTP server with four closed-loop clients — its ns/op over
+// direct's is the end-to-end overhead of the serving stack (decode,
+// admission, weighted-fair queueing, response marshaling), gated by
+// benchjson's -check-max-ratio. `qps=64` drives the server open-loop at a
+// fixed arrival rate and reports the client-observed p50/p99.
+func BenchmarkServe(b *testing.B) {
+	templates := serveBenchTemplates()
+	weights := map[string]int{"prod": 3, "batch": 1}
+	newServer := func() (*serve.Server, *httptest.Server) {
+		srv := serve.New(serve.Options{
+			Exec:          sampling.NewExec(parallel.NewScheduler(4), nil),
+			Workers:       4,
+			QueueDepth:    len(templates),
+			TenantWeights: weights,
+		})
+		return srv, httptest.NewServer(srv.Handler())
+	}
+	post := func(client *http.Client, url string, req *serve.StudyRequest) error {
+		doc, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(url+serve.StudyPath, "application/json", bytes.NewReader(doc))
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: %s", resp.Status, body)
+		}
+		return nil
+	}
+
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ex := sampling.NewExec(parallel.NewScheduler(4), nil)
+			for j := range templates {
+				req := templates[j]
+				if _, err := serve.Run(ex, nil, &req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("served", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, ts := newServer()
+			var wg sync.WaitGroup
+			for c := 0; c < 4; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for j := c; j < len(templates); j += 4 {
+						req := templates[j]
+						if err := post(ts.Client(), ts.URL, &req); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			ts.Close()
+		}
+	})
+	b.Run("qps=64", func(b *testing.B) {
+		var p50, p99 time.Duration
+		for i := 0; i < b.N; i++ {
+			_, ts := newServer()
+			gen := &serve.LoadGen{
+				Rate:      64,
+				Requests:  len(templates),
+				Seed:      1,
+				Templates: templates,
+				Do: func(req *serve.StudyRequest) error {
+					return post(ts.Client(), ts.URL, req)
+				},
+			}
+			rep, err := gen.Run()
+			ts.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Errors > 0 {
+				b.Fatalf("%d of %d requests failed", rep.Errors, rep.Requests)
+			}
+			p50, p99 = rep.P50, rep.P99
+		}
+		b.ReportMetric(float64(p50)/1e6, "p50-ms")
+		b.ReportMetric(float64(p99)/1e6, "p99-ms")
 	})
 }
 

@@ -24,6 +24,15 @@
 //
 //	go test -bench StudyParallel . | benchjson \
 //	  -check-ratio 'StudyParallel/p=1:StudyParallel/p=4:1.5:4'
+//
+// -check-max-ratio is the mirror image: NUM:DEN:MAX[:MINCPU] requires
+// ns/op(NUM) / ns/op(DEN) <= MAX, i.e. NUM may be at most MAX times
+// slower than DEN. It bounds overhead rather than demanding speedup —
+// e.g. the serving tier must not cost more than a small multiple of the
+// batch path it wraps:
+//
+//	go test -bench Serve . | benchjson \
+//	  -check-max-ratio 'Serve/served:Serve/direct:3'
 package main
 
 import (
@@ -65,6 +74,7 @@ func main() {
 	check := flag.String("check", "", "comma-separated benchmark names to gate on ns/op")
 	tolerance := flag.Float64("tolerance", 25, "allowed ns/op regression vs baseline, percent")
 	checkRatio := flag.String("check-ratio", "", "comma-separated NUM:DEN:MIN[:MINCPU] specs requiring ns/op(NUM)/ns/op(DEN) >= MIN in this run")
+	checkMaxRatio := flag.String("check-max-ratio", "", "comma-separated NUM:DEN:MAX[:MINCPU] specs requiring ns/op(NUM)/ns/op(DEN) <= MAX in this run")
 	note := flag.String("note", "", "free-form note recorded in the snapshot (machine context, caveats)")
 	flag.Parse()
 
@@ -114,6 +124,11 @@ func main() {
 	}
 	if *checkRatio != "" {
 		if err := checkRatios(&snap, *checkRatio, runtime.NumCPU()); err != nil {
+			fatal(err)
+		}
+	}
+	if *checkMaxRatio != "" {
+		if err := checkMaxRatios(&snap, *checkMaxRatio, runtime.NumCPU()); err != nil {
 			fatal(err)
 		}
 	}
@@ -170,6 +185,17 @@ func printSummary(snap *Snapshot, baselinePath string) {
 // cores to spread across. Absent benchmark names are hard errors, same as
 // the regression gate.
 func checkRatios(snap *Snapshot, specs string, ncpu int) error {
+	return checkRatioSpecs(snap, specs, ncpu, false)
+}
+
+// checkMaxRatios enforces NUM:DEN:MAX[:MINCPU] specs: the NUM benchmark
+// may be at most MAX times slower than DEN. Where checkRatios demands a
+// speedup, this bounds an overhead.
+func checkMaxRatios(snap *Snapshot, specs string, ncpu int) error {
+	return checkRatioSpecs(snap, specs, ncpu, true)
+}
+
+func checkRatioSpecs(snap *Snapshot, specs string, ncpu int, upper bool) error {
 	find := func(name string) *Benchmark {
 		for i := range snap.Benchmarks {
 			if snap.Benchmarks[i].Name == name {
@@ -186,11 +212,11 @@ func checkRatios(snap *Snapshot, specs string, ncpu int) error {
 		}
 		parts := strings.Split(spec, ":")
 		if len(parts) != 3 && len(parts) != 4 {
-			return fmt.Errorf("ratio spec %q: want NUM:DEN:MIN[:MINCPU]", spec)
+			return fmt.Errorf("ratio spec %q: want NUM:DEN:BOUND[:MINCPU]", spec)
 		}
-		min, err := strconv.ParseFloat(parts[2], 64)
-		if err != nil || min <= 0 {
-			return fmt.Errorf("ratio spec %q: bad minimum %q", spec, parts[2])
+		bound, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || bound <= 0 {
+			return fmt.Errorf("ratio spec %q: bad bound %q", spec, parts[2])
 		}
 		if len(parts) == 4 {
 			minCPU, err := strconv.Atoi(parts[3])
@@ -213,14 +239,25 @@ func checkRatios(snap *Snapshot, specs string, ncpu int) error {
 			return fmt.Errorf("ratio spec %q: missing ns/op", spec)
 		}
 		ratio := num.NsPerOp / den.NsPerOp
-		if ratio < min {
+		if upper {
+			if ratio > bound {
+				failures = append(failures, fmt.Sprintf(
+					"%s is %.2fx slower than %s, want <= %.2fx (%.0f vs %.0f ns/op)",
+					parts[0], ratio, parts[1], bound, num.NsPerOp, den.NsPerOp))
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: %s ok: %s is %.2fx of %s (<= %.2fx)\n",
+				spec, parts[0], ratio, parts[1], bound)
+			continue
+		}
+		if ratio < bound {
 			failures = append(failures, fmt.Sprintf(
 				"%s is only %.2fx faster than %s, want >= %.2fx (%.0f vs %.0f ns/op)",
-				parts[1], ratio, parts[0], min, den.NsPerOp, num.NsPerOp))
+				parts[1], ratio, parts[0], bound, den.NsPerOp, num.NsPerOp))
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: %s ok: %s is %.2fx faster than %s (>= %.2fx)\n",
-			spec, parts[1], ratio, parts[0], min)
+			spec, parts[1], ratio, parts[0], bound)
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("ratio gate failed:\n  %s", strings.Join(failures, "\n  "))

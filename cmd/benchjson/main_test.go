@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func ratioSnap() *Snapshot {
+	return &Snapshot{Benchmarks: []Benchmark{
+		{Name: "Serve/direct", NsPerOp: 100},
+		{Name: "Serve/served", NsPerOp: 150},
+		{Name: "Study/p=1", NsPerOp: 400},
+		{Name: "Study/p=4", NsPerOp: 100},
+	}}
+}
+
+func TestCheckRatios(t *testing.T) {
+	snap := ratioSnap()
+	if err := checkRatios(snap, "Study/p=1:Study/p=4:3", 8); err != nil {
+		t.Errorf("4x speedup fails a 3x floor: %v", err)
+	}
+	err := checkRatios(snap, "Study/p=1:Study/p=4:5", 8)
+	if err == nil || !strings.Contains(err.Error(), "only 4.00x faster") {
+		t.Errorf("4x speedup passes a 5x floor: %v", err)
+	}
+	// MINCPU skips the spec — including one that would fail.
+	if err := checkRatios(snap, "Study/p=1:Study/p=4:5:4", 2); err != nil {
+		t.Errorf("2-CPU machine enforced a MINCPU=4 spec: %v", err)
+	}
+	if err := checkRatios(snap, "Study/p=1:NoSuchBench:2", 8); err == nil {
+		t.Error("absent benchmark name passed silently")
+	}
+	if err := checkRatios(snap, "Study/p=1:Study/p=4", 8); err == nil {
+		t.Error("malformed spec accepted")
+	}
+	if err := checkRatios(snap, "Study/p=1:Study/p=4:zero", 8); err == nil {
+		t.Error("non-numeric bound accepted")
+	}
+}
+
+func TestCheckMaxRatios(t *testing.T) {
+	snap := ratioSnap()
+	if err := checkMaxRatios(snap, "Serve/served:Serve/direct:2", 8); err != nil {
+		t.Errorf("1.5x overhead fails a 2x ceiling: %v", err)
+	}
+	err := checkMaxRatios(snap, "Serve/served:Serve/direct:1.2", 8)
+	if err == nil || !strings.Contains(err.Error(), "1.50x slower") {
+		t.Errorf("1.5x overhead passes a 1.2x ceiling: %v", err)
+	}
+	if err := checkMaxRatios(snap, "Serve/served:Serve/direct:1.2:16", 2); err != nil {
+		t.Errorf("2-CPU machine enforced a MINCPU=16 spec: %v", err)
+	}
+	if err := checkMaxRatios(snap, "NoSuchBench:Serve/direct:2", 8); err == nil {
+		t.Error("absent benchmark name passed silently")
+	}
+}
+
+func TestParseBenchLine(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkServe/qps=64-8 \t 1\t246153132 ns/op\t58.03 p50-ms\t84.47 p99-ms")
+	if !ok {
+		t.Fatal("bench line rejected")
+	}
+	if b.Name != "Serve/qps=64" || b.NsPerOp != 246153132 {
+		t.Errorf("parsed %+v", b)
+	}
+	if b.Metrics["p50-ms"] != 58.03 || b.Metrics["p99-ms"] != 84.47 {
+		t.Errorf("custom metrics lost: %v", b.Metrics)
+	}
+	if _, ok := parseBenchLine("ok  \tpka\t0.961s"); ok {
+		t.Error("non-bench line accepted")
+	}
+}

@@ -1,0 +1,137 @@
+// Command pkaserve runs the PKA study engine as a long-running service:
+// clients POST study requests, the server admits them through a bounded
+// weighted-fair queue, executes them on the shared Exec ladder (memory →
+// disk cache → pkad workers → fresh simulation), and answers with the
+// same bytes the batch pka CLI would print for the same inputs.
+//
+// Usage:
+//
+//	pkaserve                                       # loopback on :9380
+//	pkaserve -addr :9380 -study-workers 4 -queue-depth 128
+//	pkaserve -cache-dir /var/pka -workers http://gpu1:9377,http://gpu2:9377
+//	pkaserve -tenants prod=3,batch=1               # prod drains 3:1 under load
+//
+// Endpoints: POST /v1/study, GET /v1/latency (?text=1), GET /v1/health,
+// GET /metrics. SIGINT/SIGTERM drains gracefully: queued studies finish,
+// new ones get 503.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pka/internal/cli"
+	"pka/internal/obs"
+	"pka/internal/parallel"
+	"pka/internal/sampling"
+	"pka/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:9380", "host:port to serve the study API on")
+		workers    = flag.Int("study-workers", 2, "concurrently executing studies (each study fans kernels out further on -p)")
+		queueDepth = flag.Int("queue-depth", 64, "bounded admission queue; requests beyond it are rejected with 429")
+		tenants    = flag.String("tenants", "", "per-tenant fair-share weights, e.g. prod=3,batch=1 (unlisted tenants weigh 1)")
+		par        = flag.Int("p", 0, "per-study kernel parallelism (0 = GOMAXPROCS, 1 = serial)")
+		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "bound on graceful drain at shutdown")
+		quiet      = flag.Bool("quiet", false, "suppress the startup and shutdown notes")
+		obsFl      cli.ObsFlags
+		cacheFl    cli.CacheFlags
+		remoteFl   cli.RemoteFlags
+	)
+	obsFl.Register(nil)
+	cacheFl.Register(nil)
+	remoteFl.Register(nil)
+	flag.Parse()
+
+	weights, err := cli.ParseWeights(*tenants)
+	if err != nil {
+		fatal(err)
+	}
+	// The server is always observed — /metrics and /v1/latency are part of
+	// its API — so build the observer up front and let the flag bundle
+	// adopt it for the -trace/-metrics/-audit artifact writers.
+	observer := obs.NewObserver()
+	obsFl.Use(observer)
+	if _, err := obsFl.Start(); err != nil {
+		fatal(err)
+	}
+	store, err := cacheFl.Open()
+	if err != nil {
+		fatal(err)
+	}
+	exec := sampling.NewExec(parallel.NewScheduler(*par), store)
+	dispatcher, err := remoteFl.Start(store, observer)
+	if err != nil {
+		fatal(err)
+	}
+	if dispatcher != nil {
+		exec.SetRemote(dispatcher)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "dispatching kernel tasks to %d worker(s)\n", dispatcher.Workers())
+		}
+	}
+	cacheStats := func() map[string]obs.CacheCounts {
+		h, m := exec.MemStats()
+		out := map[string]obs.CacheCounts{"kernel_mem": {Hits: h, Misses: m}}
+		if store != nil {
+			a := store.Stats()
+			out["artifact"] = obs.CacheCounts{Hits: a.Hits, Misses: a.Misses, Evictions: a.Evictions, Corrupt: a.Corrupt}
+		}
+		return out
+	}
+	observer.RegisterCacheStats(cacheStats)
+
+	srv := serve.New(serve.Options{
+		Exec:          exec,
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		TenantWeights: weights,
+		Obs:           observer,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln) //nolint:errcheck // reported via Shutdown
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "study service on http://%s%s (%d study workers, queue %d)\n",
+			ln.Addr(), serve.StudyPath, *workers, *queueDepth)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	if !*quiet {
+		fmt.Fprintln(os.Stderr, "draining: queued studies will finish, new requests get 503")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "pkaserve: drain:", err)
+	}
+	_ = hs.Shutdown(ctx)
+	if !*quiet {
+		fmt.Fprint(os.Stderr, srv.LatencyReport().String())
+	}
+	if err := obsFl.Finish(); err != nil {
+		fatal(err)
+	}
+	if err := cacheFl.Finish(cacheStats); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pkaserve:", err)
+	os.Exit(1)
+}

@@ -70,6 +70,28 @@ func Workloads(csv string) ([]*workload.Workload, error) {
 	return ws, nil
 }
 
+// ParseWeights parses a "tenant=weight,tenant=weight" list (the -tenants
+// spelling shared by pkaserve and pkaload). Weights must be positive
+// integers; an empty string is an empty map.
+func ParseWeights(csv string) (map[string]int, error) {
+	out := map[string]int{}
+	if strings.TrimSpace(csv) == "" {
+		return out, nil
+	}
+	for _, pair := range strings.Split(csv, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("tenant weight %q: want name=weight", pair)
+		}
+		var w int
+		if _, err := fmt.Sscanf(val, "%d", &w); err != nil || w < 1 {
+			return nil, fmt.Errorf("tenant weight %q: weight must be a positive integer", pair)
+		}
+		out[name] = w
+	}
+	return out, nil
+}
+
 // ObsFlags is the telemetry flag bundle both CLIs register. Telemetry is
 // off (and the Observer nil) unless at least one flag is set; everything
 // it records is observe-only, so results are byte-identical either way.
@@ -99,15 +121,25 @@ func (f *ObsFlags) Active() bool {
 	return f.Trace != "" || f.Metrics != "" || f.Audit != "" || f.DebugAddr != ""
 }
 
-// Start builds the Observer when telemetry was requested, installs it as
-// the process-wide pool observer, and starts the debug server when asked.
-// It returns nil (telemetry fully disabled) when no flag was set.
+// Use installs a pre-built Observer for Start to adopt instead of
+// creating its own. Commands that are always observed (the study server)
+// use this to share one observer between their serving surfaces and the
+// flag bundle's artifact writers. Call it before Start.
+func (f *ObsFlags) Use(o *obs.Observer) { f.observer = o }
+
+// Start builds the Observer when telemetry was requested (or adopts the
+// one Use installed), installs it as the process-wide pool observer, and
+// starts the debug server when asked. It returns nil (telemetry fully
+// disabled) when no flag was set and no observer was installed.
 func (f *ObsFlags) Start() (*obs.Observer, error) {
-	if !f.Active() {
+	if f.observer == nil && !f.Active() {
 		return nil, nil
 	}
-	o := obs.NewObserver()
-	f.observer = o
+	o := f.observer
+	if o == nil {
+		o = obs.NewObserver()
+		f.observer = o
+	}
 	parallel.SetObserver(o.PoolMetrics())
 	if f.DebugAddr != "" {
 		ln, err := net.Listen("tcp", f.DebugAddr)

@@ -31,6 +31,7 @@ type Observer struct {
 	pks    *PKSMetrics
 	pool   *PoolMetrics
 	remote *RemoteMetrics
+	serve  *ServeMetrics
 
 	cacheMu    sync.Mutex
 	cacheSrcs  []func() map[string]CacheCounts
@@ -51,6 +52,7 @@ func NewObserverAt(now func() time.Time) *Observer {
 	o.PKSMetrics()
 	o.PoolMetrics()
 	o.RemoteMetrics()
+	o.ServeMetrics()
 	return o
 }
 
@@ -297,6 +299,49 @@ func (o *Observer) RemoteMetrics() *RemoteMetrics {
 		}
 	}
 	return o.remote
+}
+
+// ServeMetrics is the study server's metric family: the admission
+// funnel (accepted → completed, with invalid/rejected/drain-rejected
+// spill paths), point-in-time occupancy, and the two latency
+// distributions the SLO is written against — time queued and total time
+// in system. All fields are nil-safe instruments.
+type ServeMetrics struct {
+	Requests     *Counter
+	Completed    *Counter
+	Errors       *Counter
+	Invalid      *Counter
+	Rejected     *Counter
+	DrainRejects *Counter
+	QueueDepth   *Gauge
+	InFlight     *Gauge
+	QueueWait    *Histogram
+	Latency      *Histogram
+}
+
+// ServeMetrics lazily builds (and then reuses) the study-server bundle.
+func (o *Observer) ServeMetrics() *ServeMetrics {
+	if o == nil || o.Metrics == nil {
+		return nil
+	}
+	if o.serve == nil {
+		r := o.Metrics
+		o.serve = &ServeMetrics{
+			Requests:     r.Counter("pka_serve_requests_total", "study requests admitted to the queue"),
+			Completed:    r.Counter("pka_serve_completed_total", "study requests that returned a result"),
+			Errors:       r.Counter("pka_serve_errors_total", "admitted requests that failed in execution"),
+			Invalid:      r.Counter("pka_serve_invalid_total", "requests rejected by the decoder/validator"),
+			Rejected:     r.Counter("pka_serve_rejected_total", "requests rejected with 429 by the full queue"),
+			DrainRejects: r.Counter("pka_serve_drain_rejects_total", "requests rejected with 503 while draining"),
+			QueueDepth:   r.Gauge("pka_serve_queue_depth", "study requests waiting for a runner"),
+			InFlight:     r.Gauge("pka_serve_inflight", "study requests currently executing"),
+			QueueWait: r.Histogram("pka_serve_queue_wait_seconds", "time from admission to execution start",
+				[]float64{0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 2.5}),
+			Latency: r.Histogram("pka_serve_latency_seconds", "time from admission to completion",
+				[]float64{0.001, 0.005, 0.025, 0.1, 0.25, 0.5, 1, 2.5, 10}),
+		}
+	}
+	return o.serve
 }
 
 // RemoteWorkerStats is one worker's dispatcher-side state, published

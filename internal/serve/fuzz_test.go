@@ -1,0 +1,109 @@
+package serve_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pka/internal/serve"
+	"pka/internal/workload"
+)
+
+// Fuzz seed corpus: two valid requests and the malformed shapes the
+// decoder must reject with an error — never a panic, never an unbounded
+// allocation (mirrors FuzzLoadWorkloadJSON one layer up the stack).
+var requestSeeds = []string{
+	// Valid: built-in workload, all defaults.
+	`{"workload":"Rodinia/gauss_mat4"}`,
+	// Valid: inline workload, explicit parameters.
+	`{"tenant":"prod","mode":"full","workload_json":{"name":"inline","kernels":[
+		{"name":"k","grid":[8,1,1],"block":[64,1,1],"mix":{"compute":10},"repeat":3}]}}`,
+	// Structural junk.
+	``, `{`, `[]`, `{}`, `null`, `"workload"`,
+	`{"workload":"Rodinia/gauss_mat4"}{"workload":"Rodinia/gauss_mat4"}`,
+	// Unknown fields and wrong types.
+	`{"workload":"Rodinia/gauss_mat4","qos":"gold"}`,
+	`{"workload":42}`,
+	`{"workload":"Rodinia/gauss_mat4","maxk":"twenty"}`,
+	// Unknown names, out-of-range parameters.
+	`{"workload":"Rodinia/no_such_workload"}`,
+	`{"workload":"Rodinia/gauss_mat4","device":"z80"}`,
+	`{"workload":"Rodinia/gauss_mat4","mode":"psychic"}`,
+	`{"workload":"Rodinia/gauss_mat4","target":-3}`,
+	`{"workload":"Rodinia/gauss_mat4","target":1e9}`,
+	`{"workload":"Rodinia/gauss_mat4","s":2}`,
+	`{"workload":"Rodinia/gauss_mat4","n":-7}`,
+	`{"workload":"Rodinia/gauss_mat4","n":9999999}`,
+	`{"workload":"Rodinia/gauss_mat4","maxk":65}`,
+	`{"workload":"Rodinia/gauss_mat4","tenant":"../../etc"}`,
+	// Ambiguous and empty workload selections.
+	`{"workload":"Rodinia/gauss_mat4","workload_json":{"name":"x","kernels":[]}}`,
+	`{"mode":"pka"}`,
+	// Inline workloads that must die in the hardened loader: negative
+	// grid, oversized dims, huge repeat, empty kernel list.
+	`{"workload_json":{"name":"bad","kernels":[{"name":"k","grid":[-4,1,1],"block":[256,1,1],"mix":{"compute":10}}]}}`,
+	`{"workload_json":{"name":"bad","kernels":[{"name":"k","grid":[2000000000,60000,60000],"block":[64,1,1],"mix":{"compute":10}}]}}`,
+	`{"workload_json":{"name":"bad","kernels":[{"name":"k","grid":[8,1,1],"block":[64,1,1],"mix":{"compute":10},"repeat":2000000000}]}}`,
+	`{"workload_json":{"name":"bad","kernels":[]}}`,
+}
+
+// FuzzServeRequest fuzzes the study-request decoder: any byte input must
+// either produce a fully-normalized, in-bounds request or an error.
+func FuzzServeRequest(f *testing.F) {
+	for _, s := range requestSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := serve.DecodeStudyRequest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if req == nil {
+			t.Fatal("nil request with nil error")
+		}
+		// Everything the server trusts downstream must hold here.
+		if req.Tenant == "" || len(req.Tenant) > serve.MaxTenantLen {
+			t.Fatalf("accepted tenant %q", req.Tenant)
+		}
+		switch req.Mode {
+		case "pka", "pks", "full":
+		default:
+			t.Fatalf("accepted mode %q", req.Mode)
+		}
+		if req.TargetErrorPct <= 0 || req.TargetErrorPct > serve.MaxTargetErrorPct {
+			t.Fatalf("accepted target %v", req.TargetErrorPct)
+		}
+		if req.MaxK < 1 || req.MaxK > serve.MaxK {
+			t.Fatalf("accepted maxk %d", req.MaxK)
+		}
+		if req.Window < 0 || req.Window > serve.MaxWindow {
+			t.Fatalf("accepted window %d", req.Window)
+		}
+		if len(req.WorkloadJSON) > 0 {
+			// Whatever the decoder accepted inline must satisfy the
+			// workload loader's own validator.
+			w, werr := workload.FromJSON(bytes.NewReader(req.WorkloadJSON))
+			if werr != nil {
+				t.Fatalf("accepted inline workload the loader rejects: %v", werr)
+			}
+			if w.N < 1 || w.N > workload.MaxJSONKernels {
+				t.Fatalf("accepted inline workload with %d kernels", w.N)
+			}
+		}
+	})
+}
+
+// TestServeRequestSeedCorpus pins which seeds must decode and which must
+// error, so the corpus itself cannot rot.
+func TestServeRequestSeedCorpus(t *testing.T) {
+	for i, s := range requestSeeds {
+		_, err := serve.DecodeStudyRequest(strings.NewReader(s))
+		if i < 2 {
+			if err != nil {
+				t.Errorf("valid seed %d rejected: %v", i, err)
+			}
+		} else if err == nil {
+			t.Errorf("malformed seed %d accepted:\n%s", i, s)
+		}
+	}
+}

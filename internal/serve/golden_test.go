@@ -1,0 +1,209 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pka/internal/obs"
+	"pka/internal/serve"
+)
+
+// fakeClock is a manually-advanced clock; Sleep advances it instantly, so
+// a whole load-generation run happens in zero wall time with fully
+// deterministic timestamps.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestGoldenLatencyReport pins the whole deterministic-serving story in
+// one place: a fixed Poisson seed, a fake clock, and per-template service
+// times produce a byte-pinned percentile report (text and JSON) and a
+// byte-pinned pka_serve_* Prometheus exposition. If scheduling, the
+// recorder, percentile math, or metric registration drifts, these bytes
+// move.
+func TestGoldenLatencyReport(t *testing.T) {
+	clk := newFakeClock()
+	observer := obs.NewObserverAt(clk.Now)
+	// Deterministic service times per (tenant, workload).
+	service := map[string]time.Duration{
+		"alpha/Rodinia/gauss_mat4": 5 * time.Millisecond,
+		"alpha/Rodinia/bfs4096":    12 * time.Millisecond,
+		"beta/Rodinia/gauss_mat4":  30 * time.Millisecond,
+	}
+	srv := serve.New(serve.Options{
+		Workers:       1,
+		QueueDepth:    16,
+		TenantWeights: map[string]int{"alpha": 3, "beta": 1},
+		Obs:           observer,
+		Now:           clk.Now,
+		Runner: func(req *serve.StudyRequest) (*serve.StudyResponse, error) {
+			d, ok := service[req.Tenant+"/"+req.Workload]
+			if !ok {
+				t.Errorf("unexpected request %s/%s", req.Tenant, req.Workload)
+			}
+			clk.Sleep(d)
+			return &serve.StudyResponse{Workload: req.Workload, Device: req.Device, Mode: req.Mode}, nil
+		},
+	})
+	gen := &serve.LoadGen{
+		Rate:     50,
+		Requests: 24,
+		Seed:     7,
+		Templates: []serve.StudyRequest{
+			{Tenant: "alpha", Workload: "Rodinia/gauss_mat4"},
+			{Tenant: "alpha", Workload: "Rodinia/bfs4096"},
+			{Tenant: "beta", Workload: "Rodinia/gauss_mat4"},
+		},
+		Do:          func(req *serve.StudyRequest) error { _, err := srv.Do(req); return err },
+		Now:         clk.Now,
+		Sleep:       clk.Sleep,
+		Synchronous: true, // closed-loop: full determinism, including execution order
+	}
+	clientRep, err := gen.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const wantClient = `latency report: 24 requests (0 errors), window 24
+  queue wait  p50 0.00ms  p95 0.00ms  p99 0.00ms
+  latency     p50 12.00ms  p95 30.00ms  p99 30.00ms  mean 13.29ms  max 30.00ms
+  tenant alpha          18 requests  p50 5.00ms  p95 12.00ms  p99 12.00ms
+  tenant beta            6 requests  p50 30.00ms  p95 30.00ms  p99 30.00ms
+`
+	if got := clientRep.String(); got != wantClient {
+		t.Errorf("client report drifted:\n got:\n%s\nwant:\n%s", got, wantClient)
+	}
+
+	// The server-side report covers the same 24 requests (queue waits are
+	// zero in closed-loop mode: each request starts the instant it is
+	// admitted).
+	serverRep := srv.LatencyReport()
+	if got := serverRep.String(); got != wantClient {
+		t.Errorf("server report drifted:\n got:\n%s\nwant:\n%s", got, wantClient)
+	}
+
+	// JSON form: integer nanoseconds, byte-reproducible.
+	js, err := json.Marshal(serverRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantJSON = `{"requests":24,"errors":0,"window":24,"queue_p50_ns":0,"queue_p95_ns":0,"queue_p99_ns":0,"p50_ns":12000000,"p95_ns":30000000,"p99_ns":30000000,"mean_ns":13291666,"max_ns":30000000,"tenants":[{"tenant":"alpha","requests":18,"p50_ns":5000000,"p95_ns":12000000,"p99_ns":12000000},{"tenant":"beta","requests":6,"p50_ns":30000000,"p95_ns":30000000,"p99_ns":30000000}]}`
+	if string(js) != wantJSON {
+		t.Errorf("JSON report drifted:\n got %s\nwant %s", js, wantJSON)
+	}
+
+	// The pka_serve_* exposition slice, byte-pinned.
+	var sb strings.Builder
+	if err := observer.Metrics.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var serveLines []string
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.Contains(line, "pka_serve_") {
+			serveLines = append(serveLines, line)
+		}
+	}
+	got := strings.Join(serveLines, "\n") + "\n"
+	const wantExpo = `# HELP pka_serve_completed_total study requests that returned a result
+# TYPE pka_serve_completed_total counter
+pka_serve_completed_total 24
+# HELP pka_serve_drain_rejects_total requests rejected with 503 while draining
+# TYPE pka_serve_drain_rejects_total counter
+pka_serve_drain_rejects_total 0
+# HELP pka_serve_errors_total admitted requests that failed in execution
+# TYPE pka_serve_errors_total counter
+pka_serve_errors_total 0
+# HELP pka_serve_inflight study requests currently executing
+# TYPE pka_serve_inflight gauge
+pka_serve_inflight 0
+# HELP pka_serve_invalid_total requests rejected by the decoder/validator
+# TYPE pka_serve_invalid_total counter
+pka_serve_invalid_total 0
+# HELP pka_serve_latency_seconds time from admission to completion
+# TYPE pka_serve_latency_seconds histogram
+pka_serve_latency_seconds_bucket{le="0.001"} 0
+pka_serve_latency_seconds_bucket{le="0.005"} 11
+pka_serve_latency_seconds_bucket{le="0.025"} 18
+pka_serve_latency_seconds_bucket{le="0.1"} 24
+pka_serve_latency_seconds_bucket{le="0.25"} 24
+pka_serve_latency_seconds_bucket{le="0.5"} 24
+pka_serve_latency_seconds_bucket{le="1"} 24
+pka_serve_latency_seconds_bucket{le="2.5"} 24
+pka_serve_latency_seconds_bucket{le="10"} 24
+pka_serve_latency_seconds_bucket{le="+Inf"} 24
+pka_serve_latency_seconds_sum 0.31900000000000006
+pka_serve_latency_seconds_count 24
+# HELP pka_serve_queue_depth study requests waiting for a runner
+# TYPE pka_serve_queue_depth gauge
+pka_serve_queue_depth 0
+# HELP pka_serve_queue_wait_seconds time from admission to execution start
+# TYPE pka_serve_queue_wait_seconds histogram
+pka_serve_queue_wait_seconds_bucket{le="0.0005"} 24
+pka_serve_queue_wait_seconds_bucket{le="0.001"} 24
+pka_serve_queue_wait_seconds_bucket{le="0.005"} 24
+pka_serve_queue_wait_seconds_bucket{le="0.025"} 24
+pka_serve_queue_wait_seconds_bucket{le="0.1"} 24
+pka_serve_queue_wait_seconds_bucket{le="0.5"} 24
+pka_serve_queue_wait_seconds_bucket{le="2.5"} 24
+pka_serve_queue_wait_seconds_bucket{le="+Inf"} 24
+pka_serve_queue_wait_seconds_sum 0
+pka_serve_queue_wait_seconds_count 24
+# HELP pka_serve_rejected_total requests rejected with 429 by the full queue
+# TYPE pka_serve_rejected_total counter
+pka_serve_rejected_total 0
+# HELP pka_serve_requests_total study requests admitted to the queue
+# TYPE pka_serve_requests_total counter
+pka_serve_requests_total 24
+`
+	if got != wantExpo {
+		t.Errorf("pka_serve_ exposition drifted:\n got:\n%s\nwant:\n%s", got, wantExpo)
+	}
+
+	// Replaying the identical run reproduces the identical client report
+	// byte-for-byte — the seeded-load-generator acceptance criterion.
+	clk2 := newFakeClock()
+	srv2 := serve.New(serve.Options{
+		Workers: 1, QueueDepth: 16,
+		TenantWeights: map[string]int{"alpha": 3, "beta": 1},
+		Now:           clk2.Now,
+		Runner: func(req *serve.StudyRequest) (*serve.StudyResponse, error) {
+			clk2.Sleep(service[req.Tenant+"/"+req.Workload])
+			return &serve.StudyResponse{Workload: req.Workload, Device: req.Device, Mode: req.Mode}, nil
+		},
+	})
+	gen2 := *gen
+	gen2.Do = func(req *serve.StudyRequest) error { _, err := srv2.Do(req); return err }
+	gen2.Now, gen2.Sleep = clk2.Now, clk2.Sleep
+	rep2, err := gen2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	js1, _ := json.Marshal(clientRep)
+	js2, _ := json.Marshal(rep2)
+	if string(js1) != string(js2) {
+		t.Errorf("replay diverged:\n first  %s\n second %s", js1, js2)
+	}
+}

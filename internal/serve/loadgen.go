@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"pka/internal/stats"
+)
+
+// Arrival is one planned request: when it fires (offset from the run
+// start) and which template it instantiates.
+type Arrival struct {
+	At       time.Duration `json:"at_ns"`
+	Template int           `json:"template"`
+}
+
+// LoadGen is an open-loop Poisson load generator: request arrivals are
+// scheduled up front from a seeded exponential interarrival process and
+// fired on schedule whether or not earlier requests have completed — the
+// arrival pattern a server faces from independent clients, which is what
+// exposes queueing. The plan is a pure function of (Seed, Rate, Requests,
+// len(Templates)), so a seeded run is byte-reproducible; the clock and
+// sleeper are injectable so tests can pin full latency reports.
+type LoadGen struct {
+	// Rate is the mean arrival rate in requests per second (required).
+	Rate float64
+	// Requests is how many requests to fire (required).
+	Requests int
+	// Seed drives the interarrival and template draws.
+	Seed uint64
+	// Templates are the request bodies to draw from, uniformly
+	// (required). Each firing deep-copies its template, so templates may
+	// be shared across runs.
+	Templates []StudyRequest
+	// Do issues one request (required) — typically Server.Do directly or
+	// an HTTP POST to a remote server. Its error marks the sample failed.
+	Do func(*StudyRequest) error
+	// Now and Sleep default to the real clock.
+	Now   func() time.Time
+	Sleep func(time.Duration)
+	// Synchronous fires each request inline instead of in its own
+	// goroutine — closed-loop, deterministic execution order, used by the
+	// golden tests. Open-loop (false) is the realistic mode.
+	Synchronous bool
+	// Window sizes the result recorder (default all requests).
+	Window int
+}
+
+// Plan derives the request schedule. Calling it twice yields identical
+// slices; Run executes exactly this plan.
+func (g *LoadGen) Plan() []Arrival {
+	rng := stats.NewRNG(g.Seed)
+	plan := make([]Arrival, g.Requests)
+	at := time.Duration(0)
+	for i := range plan {
+		at += time.Duration(rng.ExpFloat64() / g.Rate * float64(time.Second))
+		plan[i] = Arrival{At: at, Template: rng.Intn(len(g.Templates))}
+	}
+	return plan
+}
+
+// Run fires the plan and returns the client-side latency report (queue
+// wait is unobservable from the client and reported as zero; the server's
+// /v1/latency report has the split). Run returns after every request has
+// completed.
+func (g *LoadGen) Run() (*Report, error) {
+	if g.Rate <= 0 || g.Requests <= 0 || len(g.Templates) == 0 || g.Do == nil {
+		return nil, errors.New("serve: loadgen needs Rate > 0, Requests > 0, Templates, and Do")
+	}
+	now, sleep := g.Now, g.Sleep
+	if now == nil {
+		now = time.Now
+	}
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	for i := range g.Templates {
+		if err := g.Templates[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	window := g.Window
+	if window <= 0 {
+		window = g.Requests
+	}
+	rec := NewRecorder(window)
+	plan := g.Plan()
+	start := now()
+	var wg sync.WaitGroup
+	for _, a := range plan {
+		if d := a.At - now().Sub(start); d > 0 {
+			sleep(d)
+		}
+		req := g.Templates[a.Template] // value copy
+		fire := func(req StudyRequest) {
+			t0 := now()
+			err := g.Do(&req)
+			rec.Observe(req.Tenant, 0, now().Sub(t0), err != nil)
+		}
+		if g.Synchronous {
+			fire(req)
+			continue
+		}
+		wg.Add(1)
+		go func(req StudyRequest) {
+			defer wg.Done()
+			fire(req)
+		}(req)
+	}
+	wg.Wait()
+	return rec.Report(), nil
+}

@@ -1,0 +1,116 @@
+package serve_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"pka/internal/serve"
+)
+
+func genTemplates() []serve.StudyRequest {
+	return []serve.StudyRequest{
+		{Tenant: "alpha", Workload: "Rodinia/gauss_mat4"},
+		{Tenant: "alpha", Workload: "Rodinia/bfs4096"},
+		{Tenant: "beta", Workload: "Rodinia/gauss_mat4"},
+	}
+}
+
+// TestLoadGenPlanDeterministic pins the open-loop generator's central
+// contract: the schedule is a pure function of the seed.
+func TestLoadGenPlanDeterministic(t *testing.T) {
+	gen := &serve.LoadGen{Rate: 50, Requests: 64, Seed: 7, Templates: genTemplates()}
+	plan1, plan2 := gen.Plan(), gen.Plan()
+	if !reflect.DeepEqual(plan1, plan2) {
+		t.Fatal("same seed produced different plans")
+	}
+	var last time.Duration
+	templatesSeen := map[int]bool{}
+	for i, a := range plan1 {
+		if a.At < last {
+			t.Fatalf("arrival %d goes backwards: %v after %v", i, a.At, last)
+		}
+		last = a.At
+		if a.Template < 0 || a.Template >= len(gen.Templates) {
+			t.Fatalf("arrival %d draws template %d of %d", i, a.Template, len(gen.Templates))
+		}
+		templatesSeen[a.Template] = true
+	}
+	if len(templatesSeen) != len(gen.Templates) {
+		t.Errorf("64 draws hit only %d of %d templates", len(templatesSeen), len(gen.Templates))
+	}
+	gen.Seed = 8
+	if reflect.DeepEqual(plan1, gen.Plan()) {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+// TestLoadGenOpenLoop runs the generator against a stub server and checks
+// every planned request fires exactly once and lands in the report.
+func TestLoadGenOpenLoop(t *testing.T) {
+	var mu sync.Mutex
+	perTenant := map[string]int{}
+	gen := &serve.LoadGen{
+		Rate:      5000, // effectively instantaneous on the real clock
+		Requests:  40,
+		Seed:      3,
+		Templates: genTemplates(),
+		Do: func(req *serve.StudyRequest) error {
+			mu.Lock()
+			perTenant[req.Tenant]++
+			mu.Unlock()
+			return nil
+		},
+	}
+	rep, err := gen.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 40 || rep.Errors != 0 || rep.Window != 40 {
+		t.Fatalf("report header: %+v", rep)
+	}
+	total := 0
+	for _, n := range perTenant {
+		total += n
+	}
+	if total != 40 || perTenant["alpha"] == 0 || perTenant["beta"] == 0 {
+		t.Errorf("fired %d requests across %v, want 40 across both tenants", total, perTenant)
+	}
+	if len(rep.Tenants) != 2 {
+		t.Errorf("report breaks down %d tenants, want 2", len(rep.Tenants))
+	}
+
+	// Misconfiguration is an error, not a hang.
+	if _, err := (&serve.LoadGen{}).Run(); err == nil {
+		t.Error("zero-value LoadGen ran")
+	}
+	if _, err := (&serve.LoadGen{Rate: 1, Requests: 1, Templates: []serve.StudyRequest{{Workload: "Rodinia/nope"}}, Do: func(*serve.StudyRequest) error { return nil }}).Run(); err == nil {
+		t.Error("unresolvable template accepted")
+	}
+}
+
+// TestRecorderPercentiles pins the nearest-rank math on a tiny window.
+func TestRecorderPercentiles(t *testing.T) {
+	rec := serve.NewRecorder(100)
+	for i := 1; i <= 100; i++ {
+		rec.Observe("t", 0, time.Duration(i)*time.Millisecond, false)
+	}
+	rep := rec.Report()
+	if rep.P50 != 50*time.Millisecond || rep.P95 != 95*time.Millisecond || rep.P99 != 99*time.Millisecond {
+		t.Errorf("percentiles: p50=%v p95=%v p99=%v", rep.P50, rep.P95, rep.P99)
+	}
+	if rep.Max != 100*time.Millisecond || rep.Mean != 50500*time.Microsecond {
+		t.Errorf("max=%v mean=%v", rep.Max, rep.Mean)
+	}
+
+	// The ring keeps only the newest window.
+	small := serve.NewRecorder(4)
+	for i := 1; i <= 10; i++ {
+		small.Observe("t", 0, time.Duration(i)*time.Second, i == 1)
+	}
+	rep = small.Report()
+	if rep.Requests != 10 || rep.Window != 4 || rep.Max != 10*time.Second || rep.P50 != 8*time.Second {
+		t.Errorf("rolled window: %+v", rep)
+	}
+}

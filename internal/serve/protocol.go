@@ -1,0 +1,219 @@
+// Package serve is the PKA study engine's request tier: a long-running
+// HTTP/JSON service that accepts concurrent study requests, admits them
+// through a bounded weighted-fair queue, executes them on the shared
+// sampling.Exec ladder (mem singleflight → disk artifact store → remote
+// workers → fresh simulation), and reports per-request latency
+// percentiles.
+//
+// The tier inherits the purity property the task layer established: a
+// study outcome is a function of (device, workload, study parameters) and
+// nothing else. That makes the server free to reorder, queue, reject, or
+// retry requests — fairness and backpressure change who waits, never what
+// anyone gets. A response produced through the server is byte-identical
+// to the batch pka CLI run on the same inputs.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"pka/internal/cli"
+	"pka/internal/gpu"
+	"pka/internal/workload"
+)
+
+// Protocol endpoints and limits.
+const (
+	// StudyPath runs one study request (POST, JSON body).
+	StudyPath = "/v1/study"
+	// LatencyPath reports the rolling latency percentiles (GET; ?text=1
+	// for the human-readable report).
+	LatencyPath = "/v1/latency"
+	// HealthPath reports queue occupancy and request counters (GET).
+	HealthPath = "/v1/health"
+	// MetricsPath serves the Prometheus exposition (GET).
+	MetricsPath = "/metrics"
+	// MaxStudyRequestBytes bounds a study request body. A request naming
+	// a built-in workload is under a kilobyte; the limit leaves room for
+	// a large inline workload document, matching the remote tier's cap.
+	MaxStudyRequestBytes = 1 << 20
+)
+
+// Study-parameter bounds. Requests outside these are rejected at the
+// door, before any simulation work is admitted.
+const (
+	// MaxTargetErrorPct bounds the PKS sweep's stopping threshold.
+	MaxTargetErrorPct = 50
+	// MaxK bounds the requested cluster-count ceiling.
+	MaxK = 64
+	// MaxWindow bounds the PKP convergence window, matching the workload
+	// loader's kernel bound.
+	MaxWindow = 1 << 20
+	// MaxTenantLen bounds the tenant identifier.
+	MaxTenantLen = 64
+)
+
+// StudyRequest is one client study order. Exactly one of Workload (a
+// built-in study-set name) or WorkloadJSON (an inline workload document in
+// the cmd/pka -workload-json schema) must be set. Zero-valued parameters
+// take the same defaults as the batch CLI, so a minimal request and the
+// default pka invocation produce byte-identical numbers.
+type StudyRequest struct {
+	// Tenant attributes the request for weighted-fair scheduling and
+	// per-tenant latency accounting. Empty means "anon".
+	Tenant string `json:"tenant,omitempty"`
+	// Workload names a built-in workload ("suite/name").
+	Workload string `json:"workload,omitempty"`
+	// WorkloadJSON is an inline workload document (same schema and
+	// bounds as the workload JSON loader).
+	WorkloadJSON json.RawMessage `json:"workload_json,omitempty"`
+	// Device selects the modeled GPU (volta, turing, ampere, volta40).
+	// Empty means volta.
+	Device string `json:"device,omitempty"`
+	// Mode is the study mode: "pka" (selection + projection, the
+	// default), "pks" (selection only), or "full" (simulate everything).
+	Mode string `json:"mode,omitempty"`
+	// TargetErrorPct is the PKS sweep threshold (default 5).
+	TargetErrorPct float64 `json:"target,omitempty"`
+	// Threshold is the PKP convergence threshold (default per pkp).
+	Threshold float64 `json:"s,omitempty"`
+	// Window is the PKP convergence window (default per pkp).
+	Window int `json:"n,omitempty"`
+	// MaxK bounds the PKS sweep (default 20).
+	MaxK int `json:"maxk,omitempty"`
+	// Silicon also computes the silicon ground truth and reports the
+	// projection error against it.
+	Silicon bool `json:"silicon,omitempty"`
+
+	// Resolved by Validate.
+	w   *workload.Workload
+	dev gpu.Device
+}
+
+// StudyResponse is the study outcome. Field order (and therefore byte
+// layout) is fixed: responses for equal requests are byte-identical
+// however they were executed.
+type StudyResponse struct {
+	Workload string `json:"workload"`
+	Device   string `json:"device"`
+	Mode     string `json:"mode"`
+	// K is the selected cluster count (absent in full mode).
+	K int `json:"k,omitempty"`
+	// Kernels is the number of kernels actually simulated.
+	Kernels       int     `json:"kernels"`
+	ProjCycles    int64   `json:"proj_cycles"`
+	SimWarpInstrs int64   `json:"sim_warp_instrs"`
+	IPC           float64 `json:"ipc"`
+	DRAMUtil      float64 `json:"dram_util"`
+	// SimHours is the projected simulation wall time at the modeled
+	// simulator rate.
+	SimHours  float64 `json:"sim_hours"`
+	Capped    bool    `json:"capped,omitempty"`
+	Truncated bool    `json:"truncated,omitempty"`
+	// SiliconCycles and ErrorPct are present only when the request set
+	// Silicon.
+	SiliconCycles int64   `json:"silicon_cycles,omitempty"`
+	ErrorPct      float64 `json:"error_pct,omitempty"`
+}
+
+// DecodeStudyRequest reads, parses, and validates one study request. Any
+// input either yields a fully-validated request with its workload and
+// device resolved, or an error — never a panic and never an unbounded
+// allocation (the body is capped at MaxStudyRequestBytes, unknown fields
+// are rejected, and inline workloads go through the hardened JSON
+// loader).
+func DecodeStudyRequest(r io.Reader) (*StudyRequest, error) {
+	body, err := io.ReadAll(io.LimitReader(r, MaxStudyRequestBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("serve: unreadable request: %w", err)
+	}
+	if len(body) > MaxStudyRequestBytes {
+		return nil, fmt.Errorf("serve: request exceeds %d bytes", MaxStudyRequestBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	req := &StudyRequest{}
+	if err := dec.Decode(req); err != nil {
+		return nil, fmt.Errorf("serve: malformed request: %w", err)
+	}
+	// A second document after the first is garbage, not a batch.
+	if dec.More() {
+		return nil, errors.New("serve: trailing data after request")
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// Validate normalizes defaults and rejects out-of-bounds parameters,
+// resolving the workload and device in the process. It is idempotent.
+func (r *StudyRequest) Validate() error {
+	if r.Tenant == "" {
+		r.Tenant = "anon"
+	}
+	if len(r.Tenant) > MaxTenantLen {
+		return fmt.Errorf("serve: tenant longer than %d bytes", MaxTenantLen)
+	}
+	for i := 0; i < len(r.Tenant); i++ {
+		c := r.Tenant[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == '_' || c == '.') {
+			return fmt.Errorf("serve: tenant contains byte %q (want [A-Za-z0-9._-])", c)
+		}
+	}
+	if r.Device == "" {
+		r.Device = "volta"
+	}
+	dev, err := cli.Device(r.Device)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	r.dev = dev
+	switch r.Mode {
+	case "":
+		r.Mode = "pka"
+	case "pka", "pks", "full":
+	default:
+		return fmt.Errorf("serve: unknown mode %q (want pka, pks, or full)", r.Mode)
+	}
+	if r.TargetErrorPct < 0 || r.TargetErrorPct > MaxTargetErrorPct {
+		return fmt.Errorf("serve: target error %.3g%% outside (0, %d]", r.TargetErrorPct, MaxTargetErrorPct)
+	}
+	if r.TargetErrorPct == 0 {
+		r.TargetErrorPct = 5
+	}
+	if r.Threshold < 0 || r.Threshold >= 1 {
+		return fmt.Errorf("serve: PKP threshold %.3g outside [0, 1)", r.Threshold)
+	}
+	if r.Window < 0 || r.Window > MaxWindow {
+		return fmt.Errorf("serve: PKP window %d outside [0, %d]", r.Window, MaxWindow)
+	}
+	if r.MaxK < 0 || r.MaxK > MaxK {
+		return fmt.Errorf("serve: maxk %d outside [0, %d]", r.MaxK, MaxK)
+	}
+	if r.MaxK == 0 {
+		r.MaxK = 20
+	}
+	switch {
+	case r.Workload != "" && len(r.WorkloadJSON) > 0:
+		return errors.New("serve: request sets both workload and workload_json")
+	case r.Workload != "":
+		w, err := cli.FindWorkload(r.Workload)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		r.w = w
+	case len(r.WorkloadJSON) > 0:
+		w, err := workload.FromJSON(bytes.NewReader(r.WorkloadJSON))
+		if err != nil {
+			return fmt.Errorf("serve: inline workload: %w", err)
+		}
+		r.w = w
+	default:
+		return errors.New("serve: request names no workload")
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"pka/internal/artifact"
+	"pka/internal/obs"
+	"pka/internal/parallel"
+	"pka/internal/sampling"
+	"pka/internal/serve"
+)
+
+// TestServeRace hammers one server with concurrent mixed-tenant requests
+// through the full stack — HTTP decode, weighted-fair admission, the Exec
+// ladder with mem and disk caches, live metrics — and asserts every
+// response is byte-identical to a serial, uncached reference run,
+// whatever the interleaving. Run it under -race: the assertion here is
+// "no data races anywhere in the ladder" as much as "same bytes".
+func TestServeRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrency hammer; skipped in -short")
+	}
+	store, err := artifact.Open(t.TempDir(), artifact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := sampling.NewExec(parallel.NewScheduler(4), store)
+	srv := serve.New(serve.Options{
+		Exec:          exec,
+		Workers:       4,
+		QueueDepth:    256,
+		TenantWeights: map[string]int{"prod": 3, "batch": 1},
+		Obs:           obs.NewObserver(),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Unique study specs (workload × mode × params); tenants vary per
+	// request but never the outcome — scheduling identity, not content.
+	specs := []string{
+		`"workload":"Rodinia/gauss_mat4"`,
+		`"workload":"Rodinia/gauss_mat4","mode":"pks"`,
+		`"workload":"Rodinia/bfs4096","target":2`,
+		`"workload":"Rodinia/bfs4096","mode":"full"`,
+		`"workload":"Rodinia/hots_512","mode":"full","silicon":true`,
+		`"workload":"Rodinia/gauss_s16","n":5000`,
+	}
+	want := make([][]byte, len(specs))
+	for i, spec := range specs {
+		req, err := serve.DecodeStudyRequest(strings.NewReader("{" + spec + "}"))
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		direct, err := serve.Run(nil, nil, req)
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		if want[i], err = json.Marshal(direct); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = append(want[i], '\n')
+	}
+
+	// Three rounds: cold cache, warm mem+disk, warm again — the bytes may
+	// never move. 3 tenants × 6 specs × round = 18 concurrent requests.
+	tenants := []string{"prod", "batch", "anon"}
+	for round := 0; round < 3; round++ {
+		var wg sync.WaitGroup
+		for _, tenant := range tenants {
+			for i, spec := range specs {
+				wg.Add(1)
+				go func(tenant string, i int, spec string) {
+					defer wg.Done()
+					doc := fmt.Sprintf(`{"tenant":%q,%s}`, tenant, spec)
+					resp, err := http.Post(ts.URL+serve.StudyPath, "application/json", strings.NewReader(doc))
+					if err != nil {
+						t.Errorf("round %d %s spec %d: %v", round, tenant, i, err)
+						return
+					}
+					body, err := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if err != nil || resp.StatusCode != http.StatusOK {
+						t.Errorf("round %d %s spec %d: %s %s (%v)", round, tenant, i, resp.Status, body, err)
+						return
+					}
+					if !bytes.Equal(body, want[i]) {
+						t.Errorf("round %d %s spec %d diverged:\n got %s\nwant %s", round, tenant, i, body, want[i])
+					}
+				}(tenant, i, spec)
+			}
+		}
+		wg.Wait()
+	}
+
+	h := srv.Health()
+	if wantN := int64(3 * len(tenants) * len(specs)); h.Completed != wantN {
+		t.Errorf("completed %d requests, want %d (health %+v)", h.Completed, wantN, h)
+	}
+	if memHits, _ := exec.MemStats(); memHits == 0 {
+		t.Error("mem cache never hit across identical concurrent requests")
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Errorf("drain after hammer: %v", err)
+	}
+	if rep := srv.LatencyReport(); rep.Requests != 3*len(tenants)*len(specs) {
+		t.Errorf("latency report covers %d requests, want %d", rep.Requests, 3*len(tenants)*len(specs))
+	}
+}
+
+// TestServeRaceInputOrderIndependence reruns one spec set through two
+// servers with opposite submission orders and different worker widths and
+// diffs the collected responses — the outcome set must not depend on
+// arrival order or parallelism.
+func TestServeRaceInputOrderIndependence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrency hammer; skipped in -short")
+	}
+	specs := []string{
+		`{"workload":"Rodinia/gauss_mat4"}`,
+		`{"workload":"Rodinia/bfs4096","mode":"pks"}`,
+		`{"workload":"Rodinia/hots_512","mode":"full"}`,
+		`{"workload":"Rodinia/gauss_s16","target":10}`,
+	}
+	run := func(workers int, reverse bool) [][]byte {
+		t.Helper()
+		srv := serve.New(serve.Options{
+			Exec:    sampling.NewExec(parallel.NewScheduler(workers), nil),
+			Workers: workers,
+		})
+		out := make([][]byte, len(specs))
+		var wg sync.WaitGroup
+		for i := range specs {
+			idx := i
+			if reverse {
+				idx = len(specs) - 1 - i
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				req, err := serve.DecodeStudyRequest(strings.NewReader(specs[idx]))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp, err := srv.Do(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				out[idx], _ = json.Marshal(resp)
+			}()
+		}
+		wg.Wait()
+		return out
+	}
+	a, b := run(1, false), run(4, true)
+	for i := range specs {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Errorf("spec %d depends on order/parallelism:\n serial %s\n wide   %s", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"fmt"
+
+	"pka/internal/core"
+	"pka/internal/obs"
+	"pka/internal/pkp"
+	"pka/internal/pks"
+	"pka/internal/sampling"
+	"pka/internal/stats"
+)
+
+// Run executes one validated study request on the given Exec ladder and
+// returns its response. It is a pure function of the request's study
+// parameters: any exec (nil for serial uncached, or any mix of mem/disk/
+// remote tiers) yields byte-identical responses, which is what lets the
+// serving tier queue, reorder, and retry without changing results. The
+// observer only adds telemetry.
+func Run(exec *sampling.Exec, o *obs.Observer, req *StudyRequest) (*StudyResponse, error) {
+	if req.w == nil {
+		// Direct callers may build requests without going through
+		// DecodeStudyRequest.
+		if err := req.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	resp := &StudyResponse{
+		Workload: req.w.FullName(),
+		Device:   req.Device,
+		Mode:     req.Mode,
+	}
+	cfg := core.Config{
+		Device: req.dev,
+		PKS:    pks.Options{TargetErrorPct: req.TargetErrorPct, MaxK: req.MaxK},
+		PKP:    pkp.Options{Threshold: req.Threshold, Window: req.Window},
+		Obs:    o,
+		Exec:   exec,
+	}
+	switch req.Mode {
+	case "full":
+		full, err := exec.FullSim(req.dev, req.w, 0)
+		if err != nil {
+			return nil, fmt.Errorf("serve: full sim of %s: %w", req.w.FullName(), err)
+		}
+		resp.Kernels = full.KernelsSimulated
+		resp.ProjCycles = full.ProjCycles
+		resp.SimWarpInstrs = full.SimWarpInstrs
+		resp.IPC = full.IPC
+		resp.DRAMUtil = full.DRAMUtil
+		resp.Truncated = full.Truncated
+	default: // "pks", "pka"
+		sel, err := pks.Select(req.dev, req.w, cfg.PKSOptions())
+		if err != nil {
+			return nil, fmt.Errorf("serve: selection for %s: %w", req.w.FullName(), err)
+		}
+		ss, err := core.RunSampled(cfg, req.w, sel, req.Mode == "pka")
+		if err != nil {
+			return nil, err
+		}
+		resp.K = sel.K
+		resp.Kernels = len(sel.Groups)
+		resp.ProjCycles = ss.ProjCycles
+		resp.SimWarpInstrs = ss.SimWarpInstrs
+		resp.IPC = ss.IPC
+		resp.DRAMUtil = ss.DRAMUtil
+		resp.Capped = ss.Capped
+	}
+	resp.SimHours = cfg.SimHours(resp.SimWarpInstrs)
+	if req.Silicon {
+		sil, err := sampling.SiliconTotal(req.dev, req.w)
+		if err != nil {
+			return nil, fmt.Errorf("serve: silicon walk of %s: %w", req.w.FullName(), err)
+		}
+		resp.SiliconCycles = sil.Cycles
+		resp.ErrorPct = stats.AbsPctErr(float64(resp.ProjCycles), float64(sil.Cycles))
+	}
+	return resp, nil
+}

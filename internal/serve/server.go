@@ -1,0 +1,343 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"pka/internal/obs"
+	"pka/internal/sampling"
+)
+
+// Submission errors, mapped to HTTP statuses by the handler.
+var (
+	// ErrQueueFull rejects a request when the bounded queue is at
+	// capacity (HTTP 429). The client owns the retry policy.
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrDraining rejects new work while the server drains (HTTP 503).
+	ErrDraining = errors.New("serve: server draining")
+)
+
+// Options configures a Server. The zero value of every field has a
+// usable default.
+type Options struct {
+	// Exec is the execution ladder study requests run on. Nil degrades
+	// to serial uncached execution (results stay byte-identical).
+	Exec *sampling.Exec
+	// Workers bounds concurrently-executing studies (default 2). Note
+	// this is request-level parallelism; each study may fan its kernels
+	// out further on Exec's kernel-granular scheduler.
+	Workers int
+	// QueueDepth bounds requests waiting for a runner (default 64);
+	// requests beyond it are rejected with ErrQueueFull.
+	QueueDepth int
+	// TenantWeights sets per-tenant fair-share weights (missing tenants
+	// weigh 1).
+	TenantWeights map[string]int
+	// LatencyWindow sizes the rolling latency-report window.
+	LatencyWindow int
+	// Obs, when non-nil, receives pka_serve_* metrics and per-request
+	// spans.
+	Obs *obs.Observer
+	// Now is the clock (default time.Now); tests inject a fake one for
+	// bit-stable latency reports.
+	Now func() time.Time
+	// Runner overrides study execution (tests stub it to control
+	// timing). Nil runs Run on Exec.
+	Runner func(*StudyRequest) (*StudyResponse, error)
+}
+
+// pending is one admitted request moving through the queue.
+type pending struct {
+	req      *StudyRequest
+	admitted time.Time
+	resp     *StudyResponse
+	err      error
+	done     chan struct{}
+}
+
+// Server is the study service: a bounded weighted-fair admission queue in
+// front of a spawn-on-demand runner pool, with rolling latency accounting
+// and graceful drain. Create with New, submit with Do or over HTTP via
+// Handler.
+type Server struct {
+	exec   *sampling.Exec
+	width  int
+	depth  int
+	now    func() time.Time
+	runner func(*StudyRequest) (*StudyResponse, error)
+	o      *obs.Observer
+	m      *obs.ServeMetrics
+	rec    *Recorder
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	q        *fairQueue
+	running  int // runner goroutines alive
+	inflight int // requests executing
+	draining bool
+
+	// Plain counters mirror the metric bundle so Health works without an
+	// observer.
+	served, completed, failed, rejected, drainRejects, invalid int64
+}
+
+// New builds a Server from opts.
+func New(opts Options) *Server {
+	s := &Server{
+		exec:   opts.Exec,
+		width:  opts.Workers,
+		depth:  opts.QueueDepth,
+		now:    opts.Now,
+		runner: opts.Runner,
+		o:      opts.Obs,
+		m:      opts.Obs.ServeMetrics(),
+		rec:    NewRecorder(opts.LatencyWindow),
+		q:      newFairQueue(opts.TenantWeights),
+	}
+	if s.m == nil {
+		// No observer: a zero-value bundle's nil instruments absorb every
+		// report, so the hot path stays branch-free.
+		s.m = &obs.ServeMetrics{}
+	}
+	if s.width < 1 {
+		s.width = 2
+	}
+	if s.depth < 1 {
+		s.depth = 64
+	}
+	if s.now == nil {
+		s.now = time.Now
+	}
+	if s.runner == nil {
+		s.runner = func(req *StudyRequest) (*StudyResponse, error) { return Run(s.exec, s.o, req) }
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Do admits one validated request, waits for its turn and execution, and
+// returns the study outcome. It is safe for concurrent use.
+func (s *Server) Do(req *StudyRequest) (*StudyResponse, error) {
+	p := &pending{req: req, admitted: s.now(), done: make(chan struct{})}
+	s.mu.Lock()
+	if s.draining {
+		s.drainRejects++
+		s.mu.Unlock()
+		s.m.DrainRejects.Inc()
+		return nil, ErrDraining
+	}
+	if s.q.len() >= s.depth {
+		s.rejected++
+		s.mu.Unlock()
+		s.m.Rejected.Inc()
+		return nil, ErrQueueFull
+	}
+	s.q.push(p)
+	s.served++
+	spawn := s.running < s.width
+	if spawn {
+		s.running++
+	}
+	s.m.QueueDepth.Set(float64(s.q.len()))
+	s.mu.Unlock()
+	s.m.Requests.Inc()
+	if spawn {
+		go s.work()
+	}
+	<-p.done
+	return p.resp, p.err
+}
+
+// work is one runner: it drains the fair queue and exits when the queue
+// is empty, the same spawn-on-demand shape as parallel.Scheduler.
+func (s *Server) work() {
+	for {
+		s.mu.Lock()
+		p := s.q.pop()
+		if p == nil {
+			s.running--
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		s.inflight++
+		s.m.QueueDepth.Set(float64(s.q.len()))
+		s.m.InFlight.Set(float64(s.inflight))
+		s.mu.Unlock()
+
+		started := s.now()
+		sp := s.o.StartSpan("serve", p.req.Tenant+":"+p.req.Mode)
+		p.resp, p.err = s.runOne(p.req)
+		sp.End()
+		ended := s.now()
+
+		queued := started.Sub(p.admitted)
+		total := ended.Sub(p.admitted)
+		s.rec.Observe(p.req.Tenant, queued, total, p.err != nil)
+		s.m.QueueWait.Observe(queued.Seconds())
+		s.m.Latency.Observe(total.Seconds())
+
+		s.mu.Lock()
+		s.inflight--
+		if p.err != nil {
+			s.failed++
+		} else {
+			s.completed++
+		}
+		s.m.InFlight.Set(float64(s.inflight))
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		if p.err != nil {
+			s.m.Errors.Inc()
+		} else {
+			s.m.Completed.Inc()
+		}
+		close(p.done)
+	}
+}
+
+// runOne isolates runner panics: one poisoned request must not take the
+// server (or its sibling requests) down.
+func (s *Server) runOne(req *StudyRequest) (resp *StudyResponse, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp, err = nil, fmt.Errorf("serve: runner panic: %v", r)
+		}
+	}()
+	return s.runner(req)
+}
+
+// Drain stops admitting (new submissions get ErrDraining) and waits for
+// every queued and executing request to finish, or for ctx to expire.
+// Queued work is completed, not dropped — a drained server has answered
+// everything it accepted.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.mu.Lock()
+		for s.q.len()+s.inflight > 0 {
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Wake the waiter goroutine eventually; it holds no resources.
+		return ctx.Err()
+	}
+}
+
+// LatencyReport summarizes the rolling latency window.
+func (s *Server) LatencyReport() *Report { return s.rec.Report() }
+
+// ServeHealth is the server's self-report.
+type ServeHealth struct {
+	QueueDepth   int   `json:"queue_depth"`
+	InFlight     int   `json:"in_flight"`
+	Workers      int   `json:"workers"`
+	Draining     bool  `json:"draining"`
+	Requests     int64 `json:"requests"`
+	Completed    int64 `json:"completed"`
+	Errors       int64 `json:"errors"`
+	Invalid      int64 `json:"invalid"`
+	Rejected     int64 `json:"rejected"`
+	DrainRejects int64 `json:"drain_rejects"`
+}
+
+// Health snapshots the server's counters.
+func (s *Server) Health() ServeHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ServeHealth{
+		QueueDepth:   s.q.len(),
+		InFlight:     s.inflight,
+		Workers:      s.width,
+		Draining:     s.draining,
+		Requests:     s.served,
+		Completed:    s.completed,
+		Errors:       s.failed,
+		Invalid:      s.invalid,
+		Rejected:     s.rejected,
+		DrainRejects: s.drainRejects,
+	}
+}
+
+// Handler returns the server's HTTP mux: POST /v1/study, GET /v1/latency,
+// GET /v1/health, GET /metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(StudyPath, s.handleStudy)
+	mux.HandleFunc(LatencyPath, s.handleLatency)
+	mux.HandleFunc(HealthPath, s.handleHealth)
+	mux.HandleFunc(MetricsPath, s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	req, err := DecodeStudyRequest(r.Body)
+	if err != nil {
+		s.mu.Lock()
+		s.invalid++
+		s.mu.Unlock()
+		s.m.Invalid.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := s.Do(req)
+	switch {
+	case err == nil:
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, ErrDraining):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, sampling.ErrInfeasible):
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleLatency(w http.ResponseWriter, r *http.Request) {
+	rep := s.LatencyReport()
+	if r.URL.Query().Get("text") != "" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(rep.String()))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(rep)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.Health())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.o == nil || s.o.Metrics == nil {
+		http.Error(w, "metrics disabled", http.StatusNotFound)
+		return
+	}
+	s.o.SyncCacheStats()
+	s.o.SyncRemoteStats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.o.Metrics.WritePrometheus(w)
+}
