@@ -55,7 +55,8 @@ bench-all:
 # overhead). The third stage bounds the serving tier's overhead: the
 # same request batch through the HTTP server (decode, admission,
 # weighted-fair queue, marshaling) may cost at most 3x the serial batch
-# path, and the open-loop qps arm records client-observed p50/p99.
+# path, tracing-enabled serving may cost at most 1.2x tracing-off, and
+# the open-loop qps arm records client-observed p50/p99.
 bench-check:
 	@{ $(GO) test -run NONE -bench 'SimulatorThroughput' -benchtime=5x . ; \
 	   $(GO) test -run NONE -bench 'KMeansSweep' -benchtime=5x . ; } \
@@ -64,8 +65,8 @@ bench-check:
 	@$(GO) test -run NONE -bench 'StudyParallel/p=|StudyCache/(cold|warm)|StudyRemote/(local|workers)' -benchtime=1x . \
 	| $(GO) run ./cmd/benchjson -o /dev/null \
 	    -check-ratio 'StudyParallel/p=1:StudyParallel/p=4:1.5:4,StudyCache/cold:StudyCache/warm:5,StudyRemote/local:StudyRemote/workers=2:1.5:4'
-	@$(GO) test -run NONE -bench 'Serve/(direct|served|qps)' -benchtime=1x . \
+	@$(GO) test -run NONE -bench 'Serve/(direct|served|traced|qps)' -benchtime=1x . \
 	| $(GO) run ./cmd/benchjson -o /dev/null \
-	    -check-max-ratio 'Serve/served:Serve/direct:3'
+	    -check-max-ratio 'Serve/served:Serve/direct:3,Serve/traced:Serve/served:1.2'
 
 ci: vet build test race bench-check

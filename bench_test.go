@@ -640,6 +640,33 @@ func BenchmarkServe(b *testing.B) {
 			ts.Close()
 		}
 	})
+	b.Run("traced", func(b *testing.B) {
+		// The served arm with tracing and provenance requested on every
+		// study: its ns/op over served's is the full observability tax
+		// (span collection, flight recording, trace marshaling), gated at
+		// 1.2x by benchjson's -check-max-ratio.
+		for i := 0; i < b.N; i++ {
+			_, ts := newServer()
+			var wg sync.WaitGroup
+			for c := 0; c < 4; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for j := c; j < len(templates); j += 4 {
+						req := templates[j]
+						req.Trace = true
+						req.Provenance = true
+						if err := post(ts.Client(), ts.URL, &req); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			ts.Close()
+		}
+	})
 	b.Run("qps=64", func(b *testing.B) {
 		var p50, p99 time.Duration
 		for i := 0; i < b.N; i++ {

@@ -42,6 +42,8 @@ func main() {
 		jsonOut  = flag.String("json", "", "write the selection (groups, representatives, weights) to this JSON file")
 		wfile    = flag.String("workload-file", "", "analyze a user-defined workload from a JSON document instead of -w")
 		par      = flag.Int("p", 0, "parallelism: concurrent pipeline stages (0 = GOMAXPROCS, 1 = serial)")
+		explain  = flag.Bool("explain", false, "print the per-tier execution provenance report (which ladder tier served each kernel launch) after the study")
+		flightF  = flag.String("flight", "", "write the per-kernel execution provenance (flight recorder) as NDJSON to this file")
 		obsFl    cli.ObsFlags
 		cacheFl  cli.CacheFlags
 		remoteFl cli.RemoteFlags
@@ -120,6 +122,8 @@ func main() {
 	}
 	observer.RegisterCacheStats(cacheStats)
 
+	exec.SetMetrics(observer.ExecMetrics())
+
 	cfg := core.Config{
 		Device:      dev,
 		PKS:         pks.Options{TargetErrorPct: *target, MaxK: *maxK},
@@ -127,6 +131,20 @@ func main() {
 		Parallelism: *par,
 		Obs:         observer,
 		Exec:        exec,
+	}
+	var flight *sampling.FlightRecorder
+	if *explain || *flightF != "" {
+		flight = sampling.NewFlightRecorder()
+		cfg.Flight = flight
+	}
+	if obsFl.Trace != "" {
+		// A Chrome-trace run is a traced run: give the study a root trace
+		// context so remote workers' spans link back under one trace ID and
+		// merge into the written trace, with this process as its own track.
+		ids := obs.NewIDGen(0)
+		cfg.Trace = ids.NewTrace()
+		cfg.TraceIDs = ids
+		observer.Tracer.SetProcessName("pka")
 	}
 
 	fmt.Printf("workload   %s (%d kernels) on %s\n", w.FullName(), w.N, dev.Name)
@@ -187,6 +205,26 @@ func main() {
 	fmt.Printf("  PKA (PKS+PKP)         %s (%.1fx), error %.1f%%\n",
 		report.Hours(ev.PKA.SimHours), ev.PKA.SpeedupVsFull, ev.PKA.ErrorPct)
 	fmt.Printf("  PKA projected DRAM    %.1f%%\n", ev.PKA.DRAMUtil*100)
+	if *explain {
+		fmt.Println()
+		if err := flight.WriteReport(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *flightF != "" {
+		g, err := os.Create(*flightF)
+		if err != nil {
+			fatal(err)
+		}
+		if err := flight.WriteNDJSON(g); err != nil {
+			g.Close()
+			fatal(err)
+		}
+		if err := g.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("flight recorder written to %s\n", *flightF)
+	}
 	if err := obsFl.Finish(); err != nil {
 		fatal(err)
 	}

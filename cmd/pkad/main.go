@@ -22,6 +22,7 @@ import (
 	"syscall"
 
 	"pka/internal/cli"
+	"pka/internal/obs"
 	"pka/internal/remote"
 	"pka/internal/sampling"
 )
@@ -31,28 +32,47 @@ func main() {
 		serve = flag.String("serve", "127.0.0.1:9377", "host:port to serve kernel-task execution on")
 		cap   = flag.Int("worker-cap", 4, "maximum tasks executing concurrently; extra requests are rejected 429 for the dispatcher to place elsewhere")
 		quiet = flag.Bool("quiet", false, "suppress the per-request access log on stderr")
+		name  = flag.String("name", "", "worker name reported in traces, health, and shipped spans (default pkad)")
 	)
 	var cacheFl cli.CacheFlags
 	cacheFl.Register(nil)
 	flag.Parse()
 
-	if err := run(*serve, *cap, *quiet, &cacheFl); err != nil {
+	if err := run(*serve, *cap, *quiet, *name, &cacheFl); err != nil {
 		fmt.Fprintln(os.Stderr, "pkad:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, capacity int, quiet bool, cacheFl *cli.CacheFlags) error {
+func run(addr string, capacity int, quiet bool, name string, cacheFl *cli.CacheFlags) error {
 	store, err := cacheFl.Open()
 	if err != nil {
 		return err
 	}
 	logger := log.New(os.Stderr, "pkad ", log.LstdFlags|log.Lmicroseconds)
 
+	// The daemon is always observed — /metrics is part of its API — with
+	// build identity and per-tier exec attribution in the exposition.
+	observer := obs.NewObserver()
+	observer.RegisterBuildInfo()
+
 	// The worker-side Exec layers mem-singleflight and the disk store over
 	// the local simulator but never a remote tier: workers execute, they do
 	// not forward (see sampling.Exec.RunKernelTask).
-	srv := remote.NewServer(sampling.NewExec(nil, store), capacity)
+	exec := sampling.NewExec(nil, store)
+	exec.SetMetrics(observer.ExecMetrics())
+	observer.RegisterCacheStats(func() map[string]obs.CacheCounts {
+		h, m := exec.MemStats()
+		out := map[string]obs.CacheCounts{"kernel_mem": {Hits: h, Misses: m}}
+		if store != nil {
+			a := store.Stats()
+			out["artifact"] = obs.CacheCounts{Hits: a.Hits, Misses: a.Misses, Evictions: a.Evictions, Corrupt: a.Corrupt}
+		}
+		return out
+	})
+	srv := remote.NewServer(exec, capacity)
+	srv.Name = name
+	srv.Obs = observer
 	if !quiet {
 		srv.Logf = logger.Printf
 	}

@@ -60,6 +60,7 @@ func main() {
 	// its API — so build the observer up front and let the flag bundle
 	// adopt it for the -trace/-metrics/-audit artifact writers.
 	observer := obs.NewObserver()
+	observer.RegisterBuildInfo()
 	obsFl.Use(observer)
 	if _, err := obsFl.Start(); err != nil {
 		fatal(err)
@@ -69,6 +70,7 @@ func main() {
 		fatal(err)
 	}
 	exec := sampling.NewExec(parallel.NewScheduler(*par), store)
+	exec.SetMetrics(observer.ExecMetrics())
 	dispatcher, err := remoteFl.Start(store, observer)
 	if err != nil {
 		fatal(err)

@@ -140,6 +140,7 @@ func (f *ObsFlags) Start() (*obs.Observer, error) {
 		o = obs.NewObserver()
 		f.observer = o
 	}
+	o.RegisterBuildInfo()
 	parallel.SetObserver(o.PoolMetrics())
 	if f.DebugAddr != "" {
 		ln, err := net.Listen("tcp", f.DebugAddr)
@@ -311,6 +312,7 @@ func (f *RemoteFlags) Register(fs *flag.FlagSet) {
 func (f *RemoteFlags) Start(store *artifact.Store, o *obs.Observer) (*remote.Dispatcher, error) {
 	if f.Serve != "" {
 		srv := remote.NewServer(sampling.NewExec(nil, store), f.WorkerCap)
+		srv.Obs = o
 		ln, err := net.Listen("tcp", f.Serve)
 		if err != nil {
 			return nil, fmt.Errorf("serve: %w", err)

@@ -67,6 +67,35 @@ type Config struct {
 	// byte-identical with or without it — and at any tier mix — because
 	// task outcomes are pure and merged back in kernel-launch order.
 	Exec *sampling.Exec
+	// Trace is the distributed-tracing context this evaluation belongs to;
+	// with a valid context (and an observer tracer) kernel tasks propagate
+	// it through the remote tier so worker spans link back under one trace
+	// ID. TraceIDs generates child span IDs (nil falls back to the
+	// dispatcher's own generator). Observe-only.
+	Trace    obs.TraceContext
+	TraceIDs *obs.IDGen
+	// Tracer, when non-nil, overrides Obs.Tracer as the destination for
+	// kernel-task trace spans. The serving tier sets a per-request tracer
+	// here so each study's merged cross-process trace contains only its own
+	// spans while metrics keep flowing to the shared observer.
+	Tracer *obs.Tracer
+	// Flight, when non-nil, records one provenance entry per kernel task —
+	// tier, worker, queue-wait and service durations — folded in launch
+	// order. Observe-only.
+	Flight *sampling.FlightRecorder
+}
+
+// taskTrace returns the trace/provenance fields every kernel task in this
+// evaluation shares; phase labels the study phase ("full", "pks", "pka").
+func (c Config) taskTrace(phase string) sampling.TaskObs {
+	to := sampling.TaskObs{Flight: c.Flight, Phase: phase}
+	to.Tracer = c.Tracer
+	if to.Tracer == nil && c.Obs != nil {
+		to.Tracer = c.Obs.Tracer
+	}
+	to.Trace = c.Trace
+	to.IDs = c.TraceIDs
+	return to
 }
 
 // PKSOptions returns cfg.PKS with the observer's audit stream and metric
@@ -186,7 +215,9 @@ func RunSampled(cfg Config, w *workload.Workload, sel *pks.Selection, usePKP boo
 		kernels[i] = w.Kernel(g.RepIndex)
 	}
 	tobs := func(i int) sampling.TaskObs {
-		to := sampling.TaskObs{Sim: simObs}
+		to := cfg.taskTrace(mode)
+		to.Sim = simObs
+		to.Index = i
 		if usePKP {
 			po := cfg.PKPOptions(w.FullName() + "/" + kernels[i].Name)
 			to.Audit, to.AuditSubject, to.PKPMetrics = po.Audit, po.AuditSubject, po.Metrics
@@ -255,7 +286,15 @@ func Evaluate(cfg Config, w *workload.Workload) (*Evaluation, error) {
 	pool.Go(func() error {
 		sp := cfg.Obs.StartSpan("full-sim", w.FullName())
 		defer sp.End()
-		full, fullErr = cfg.Exec.FullSim(cfg.Device, w, cfg.FullSimBudget)
+		var tobs func(i int) sampling.TaskObs
+		if cfg.Flight != nil || cfg.Trace.Valid() {
+			tobs = func(i int) sampling.TaskObs {
+				to := cfg.taskTrace("full")
+				to.Index = i
+				return to
+			}
+		}
+		full, fullErr = cfg.Exec.FullSimObs(cfg.Device, w, cfg.FullSimBudget, tobs)
 		return nil
 	})
 	if err := pool.Wait(); err != nil {

@@ -1,0 +1,70 @@
+// Build identity: every daemon in the fleet reports what binary it is —
+// module version, Go toolchain, and VCS revision — on /metrics (as a
+// pka_build_info gauge) and in its health payload, so a mixed-version
+// fleet is visible from the outside.
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary.
+type BuildInfo struct {
+	Version  string `json:"version"`
+	Go       string `json:"go"`
+	Revision string `json:"revision,omitempty"`
+	Modified bool   `json:"modified,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the binary's build identity, read once from
+// debug.ReadBuildInfo. Binaries built outside a module (or without VCS
+// stamping) report version "devel" with no revision.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{Version: "devel", Go: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			buildInfo.Version = v
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// RegisterBuildInfo publishes the pka_build_info gauge: value pinned to 1,
+// build identity carried in the help text (the registry has no label
+// support). Daemons call this explicitly; it is not part of NewObserver
+// because the environment-dependent help line would break byte-pinned
+// golden expositions.
+func (o *Observer) RegisterBuildInfo() BuildInfo {
+	b := Build()
+	if o == nil || o.Metrics == nil {
+		return b
+	}
+	help := "build identity (value always 1): version=" + b.Version + " go=" + b.Go
+	if b.Revision != "" {
+		help += " revision=" + b.Revision
+		if b.Modified {
+			help += "+dirty"
+		}
+	}
+	o.Metrics.Gauge("pka_build_info", help).Set(1)
+	return b
+}

@@ -1,0 +1,116 @@
+// Span shipping: a worker process exports its per-request spans as a
+// ProcessTrace (timestamps rebased to wall-clock microseconds so separate
+// processes share a time axis) and the client merges them into its own
+// tracer with AddProcess. WriteChromeTrace then renders each foreign
+// process under its own pid with per-process tracks, so one request opens
+// in chrome://tracing as a single tree spanning every process it touched.
+package obs
+
+// maxExportEvents bounds how many events one ExportProcess call ships —
+// a worker serves one kernel task per request, so this is generous;
+// overflow is counted in ProcessTrace.Dropped, never silently lost.
+const maxExportEvents = 1 << 12
+
+// EventRecord is one trace event in wire form. Ts is wall-clock
+// microseconds (time.Time.UnixMicro at the recording process), not
+// tracer-relative — the merging tracer rebases onto its own epoch.
+type EventRecord struct {
+	Track string `json:"track"`
+	Name  string `json:"name"`
+	Ph    string `json:"ph"`
+	Ts    int64  `json:"ts"`
+	Dur   int64  `json:"dur,omitempty"`
+	Args  []Arg  `json:"args,omitempty"`
+}
+
+// ProcessTrace is one process's exported span buffer.
+type ProcessTrace struct {
+	Process string        `json:"process"`
+	Dropped int64         `json:"dropped,omitempty"`
+	Events  []EventRecord `json:"events"`
+}
+
+// ExportProcess snapshots the tracer's events as a ProcessTrace named
+// process, with timestamps rebased to wall-clock microseconds. Track
+// metadata events are skipped (track names travel on each record) and the
+// tracer's own drop count is carried along.
+func (t *Tracer) ExportProcess(process string) ProcessTrace {
+	pt := ProcessTrace{Process: process}
+	if t == nil {
+		return pt
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make(map[int64]string, len(t.tracks))
+	for name, tid := range t.tracks {
+		names[tid] = name
+	}
+	t0micros := t.t0.UnixMicro()
+	pt.Dropped = t.dropped
+	for _, ev := range t.events {
+		if ev.ph == "M" {
+			continue
+		}
+		if len(pt.Events) >= maxExportEvents {
+			pt.Dropped++
+			continue
+		}
+		rec := EventRecord{
+			Track: names[ev.tid],
+			Name:  ev.name,
+			Ph:    ev.ph,
+			Ts:    t0micros + ev.ts,
+			Dur:   ev.dur,
+		}
+		if len(ev.args) > 0 {
+			rec.Args = append([]Arg(nil), ev.args...)
+		}
+		pt.Events = append(pt.Events, rec)
+	}
+	return pt
+}
+
+// AddProcess merges a foreign process's exported spans into this tracer.
+// Traces from the same process name accumulate into one process section;
+// WriteChromeTrace renders each as its own pid. Safe for concurrent use.
+func (t *Tracer) AddProcess(pt ProcessTrace) {
+	if t == nil || pt.Process == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.foreign == nil {
+		t.foreign = map[string]*ProcessTrace{}
+	}
+	dst, ok := t.foreign[pt.Process]
+	if !ok {
+		dst = &ProcessTrace{Process: pt.Process}
+		t.foreign[pt.Process] = dst
+	}
+	dst.Events = append(dst.Events, pt.Events...)
+	dst.Dropped += pt.Dropped
+}
+
+// ForeignProcesses returns the names of processes merged in so far,
+// sorted, for tests and reports.
+func (t *Tracer) ForeignProcesses() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return sortedProcessNames(t.foreign)
+}
+
+func sortedProcessNames(m map[string]*ProcessTrace) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}

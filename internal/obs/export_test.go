@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Pid  int64                  `json:"pid"`
+	Tid  int64                  `json:"tid"`
+	Ts   int64                  `json:"ts"`
+	Args map[string]interface{} `json:"args"`
+}
+
+func parseChrome(t *testing.T, b []byte) []chromeEvent {
+	t.Helper()
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, b)
+	}
+	return doc.TraceEvents
+}
+
+// TestExportProcessRebasesToWallClock pins the wire timestamp contract:
+// exported events carry t0.UnixMicro()+relative-ts so processes with
+// different epochs share one time axis.
+func TestExportProcessRebasesToWallClock(t *testing.T) {
+	tr := NewTracerAt(stepClock(50 * time.Microsecond)) // t0 = Unix(1000, 0)
+	sp := tr.Track("task").Start("exec k")              // ts=50
+	sp.End()                                            // ts=100 -> dur=50
+	pt := tr.ExportProcess("worker-a")
+	if pt.Process != "worker-a" {
+		t.Fatalf("process = %q", pt.Process)
+	}
+	if len(pt.Events) != 1 {
+		t.Fatalf("exported %d events (metadata must be skipped), want 1", len(pt.Events))
+	}
+	ev := pt.Events[0]
+	wantTs := time.Unix(1000, 0).UnixMicro() + 50
+	if ev.Track != "task" || ev.Name != "exec k" || ev.Ph != "X" || ev.Ts != wantTs || ev.Dur != 50 {
+		t.Fatalf("exported event %+v, want track=task name=\"exec k\" ph=X ts=%d dur=50", ev, wantTs)
+	}
+}
+
+// TestCrossProcessMerge is the merge golden: a client tracer that absorbed
+// a worker's exported spans renders one Chrome trace with per-process
+// tracks — the client on pid 1, each foreign process on its own pid with
+// its own thread names, timestamps rebased onto the client's epoch.
+func TestCrossProcessMerge(t *testing.T) {
+	client := NewTracerAt(stepClock(100 * time.Microsecond))
+	client.SetProcessName("client")
+	sp := client.Track("serve").Start("study") // ts=100
+	sp.End()                                   // ts=200
+
+	worker := NewTracerAt(stepClock(50 * time.Microsecond))
+	ws := worker.Track("task").Start("exec k") // ts=50
+	ws.End()
+	client.AddProcess(worker.ExportProcess("worker-b"))
+	client.AddProcess(worker.ExportProcess("worker-a"))
+	if got := client.ForeignProcesses(); len(got) != 2 || got[0] != "worker-a" || got[1] != "worker-b" {
+		t.Fatalf("ForeignProcesses() = %v", got)
+	}
+
+	var buf bytes.Buffer
+	if err := client.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events := parseChrome(t, buf.Bytes())
+
+	procs := map[string]int64{} // process name -> pid
+	for _, ev := range events {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			procs[ev.Args["name"].(string)] = ev.Pid
+		}
+	}
+	if procs["client"] != 1 {
+		t.Fatalf("client process_name on pid %d, want 1 (procs %v)", procs["client"], procs)
+	}
+	// Foreign pids are assigned in sorted-name order after the client.
+	if procs["worker-a"] != 2 || procs["worker-b"] != 3 {
+		t.Fatalf("foreign pids %v, want worker-a=2 worker-b=3", procs)
+	}
+
+	// The worker span appears under each foreign pid, rebased onto the
+	// client epoch (same t0 here, so its relative ts survives).
+	found := 0
+	for _, ev := range events {
+		if ev.Name == "exec k" && ev.Ph == "X" {
+			if ev.Pid != procs["worker-a"] && ev.Pid != procs["worker-b"] {
+				t.Fatalf("worker span on pid %d", ev.Pid)
+			}
+			if ev.Ts != 50 {
+				t.Fatalf("worker span ts = %d, want 50", ev.Ts)
+			}
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("found %d worker spans, want 2", found)
+	}
+	// The local span stays on pid 1 with its original timestamps.
+	for _, ev := range events {
+		if ev.Name == "study" && (ev.Pid != 1 || ev.Ts != 100) {
+			t.Fatalf("local span moved: pid=%d ts=%d", ev.Pid, ev.Ts)
+		}
+	}
+}
+
+// TestLegacySingleProcessUnchanged pins that a tracer that never touched
+// the multi-process surface still renders the exact historical output: no
+// process_name metadata, no pid changes.
+func TestLegacySingleProcessUnchanged(t *testing.T) {
+	tr := NewTracerAt(stepClock(100 * time.Microsecond))
+	tr.Track("phase").Start("build").End()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range parseChrome(t, buf.Bytes()) {
+		if ev.Name == "process_name" || ev.Name == "trace_dropped" {
+			t.Fatalf("single-process trace grew %q metadata", ev.Name)
+		}
+		if ev.Pid != 1 {
+			t.Fatalf("single-process event on pid %d", ev.Pid)
+		}
+	}
+}
+
+// TestDropAccounting pins the silent-loss fix: events past the memory cap
+// increment the registered counter and surface as trace_dropped metadata.
+func TestDropAccounting(t *testing.T) {
+	old := maxTraceEvents
+	maxTraceEvents = 3
+	defer func() { maxTraceEvents = old }()
+	tr := NewTracerAt(stepClock(time.Microsecond))
+	ctr := NewRegistry().Counter("pka_trace_dropped_total", "t")
+	tr.SetDropCounter(ctr)
+	tr.Track("x").Instant("kept")      // thread_name meta + event: 2 of 3
+	tr.Track("x").Instant("also kept") // 3 of 3: at the cap now
+	tr.Track("x").Instant("overflow")
+	tr.Track("x").Start("span").End()
+	if got := ctr.Value(); got != 2 {
+		t.Fatalf("drop counter = %d, want 2", got)
+	}
+	if got := tr.Dropped(); got != 2 {
+		t.Fatalf("Dropped() = %d, want 2", got)
+	}
+	// Foreign drops accumulate into the same metadata note.
+	tr.AddProcess(ProcessTrace{Process: "worker-a", Dropped: 3})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	foundDropped := false
+	for _, ev := range parseChrome(t, buf.Bytes()) {
+		if ev.Name == "trace_dropped" {
+			foundDropped = true
+			if n := ev.Args["dropped"].(float64); int64(n) != 5 {
+				t.Fatalf("trace_dropped = %v, want 5", n)
+			}
+		}
+	}
+	if !foundDropped {
+		t.Fatal("no trace_dropped metadata in trace with drops")
+	}
+}

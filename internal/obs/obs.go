@@ -32,6 +32,7 @@ type Observer struct {
 	pool   *PoolMetrics
 	remote *RemoteMetrics
 	serve  *ServeMetrics
+	exec   *ExecMetrics
 
 	cacheMu    sync.Mutex
 	cacheSrcs  []func() map[string]CacheCounts
@@ -53,6 +54,11 @@ func NewObserverAt(now func() time.Time) *Observer {
 	o.PoolMetrics()
 	o.RemoteMetrics()
 	o.ServeMetrics()
+	o.ExecMetrics()
+	// Span loss at the tracer's memory cap lands in the exposition instead
+	// of vanishing silently.
+	o.Tracer.SetDropCounter(o.Metrics.Counter(
+		"pka_trace_dropped_total", "trace events discarded at the tracer memory cap"))
 	return o
 }
 
@@ -342,6 +348,51 @@ func (o *Observer) ServeMetrics() *ServeMetrics {
 		}
 	}
 	return o.serve
+}
+
+// ExecTierNames names the Exec ladder's serving tiers in ladder order;
+// index i is the tier with numeric value i in internal/sampling.
+var ExecTierNames = [4]string{"mem", "disk", "worker", "sim"}
+
+// ExecMetrics is the Exec ladder's tier-attribution family: for each of
+// the four serving tiers (mem singleflight, disk artifact store, remote
+// worker, fresh simulation), how many kernel tasks it satisfied and the
+// service-latency distribution. The registry has no label support, so
+// each tier is its own counter/histogram pair; summed across tiers the
+// counters equal the study's kernel-launch count.
+type ExecMetrics struct {
+	Tasks   [4]*Counter
+	Latency [4]*Histogram
+}
+
+// ExecMetrics lazily builds (and then reuses) the Exec-ladder bundle.
+func (o *Observer) ExecMetrics() *ExecMetrics {
+	if o == nil || o.Metrics == nil {
+		return nil
+	}
+	if o.exec == nil {
+		r := o.Metrics
+		m := &ExecMetrics{}
+		bounds := []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}
+		for i, tier := range ExecTierNames {
+			m.Tasks[i] = r.Counter("pka_exec_tier_"+tier+"_total",
+				"kernel tasks satisfied by the "+tier+" tier")
+			m.Latency[i] = r.Histogram("pka_exec_tier_"+tier+"_seconds",
+				"service latency of kernel tasks satisfied by the "+tier+" tier", bounds)
+		}
+		o.exec = m
+	}
+	return o.exec
+}
+
+// Observe records one kernel task served by tier (0..3) in sec seconds.
+// Nil-safe; out-of-range tiers are ignored.
+func (m *ExecMetrics) Observe(tier int, sec float64) {
+	if m == nil || tier < 0 || tier >= len(m.Tasks) {
+		return
+	}
+	m.Tasks[tier].Inc()
+	m.Latency[tier].Observe(sec)
 }
 
 // RemoteWorkerStats is one worker's dispatcher-side state, published

@@ -16,14 +16,16 @@ import (
 )
 
 // maxTraceEvents bounds tracer memory on very large studies; events beyond
-// the cap are counted in Dropped and omitted from the export.
-const maxTraceEvents = 1 << 22
+// the cap are counted in Dropped and omitted from the export. A var only
+// so tests can lower the cap without allocating millions of events.
+var maxTraceEvents = 1 << 22
 
 // Arg is one key/value annotation on a span or instant event. Values must
-// be JSON-marshalable (numbers, strings, bools).
+// be JSON-marshalable (numbers, strings, bools). The tags are the wire
+// form used when spans ship between processes (see export.go).
 type Arg struct {
-	Key string
-	Val interface{}
+	Key string      `json:"k"`
+	Val interface{} `json:"v"`
 }
 
 type traceEvent struct {
@@ -38,13 +40,16 @@ type traceEvent struct {
 // Tracer collects trace events. All methods are safe for concurrent use.
 // A nil *Tracer is inert.
 type Tracer struct {
-	mu      sync.Mutex
-	now     func() time.Time
-	t0      time.Time
-	events  []traceEvent
-	tracks  map[string]int64
-	nextTID int64
-	dropped int64
+	mu       sync.Mutex
+	now      func() time.Time
+	t0       time.Time
+	events   []traceEvent
+	tracks   map[string]int64
+	nextTID  int64
+	dropped  int64
+	dropCtr  *Counter
+	procName string
+	foreign  map[string]*ProcessTrace
 }
 
 // NewTracer returns a tracer on the real clock.
@@ -65,6 +70,7 @@ func (t *Tracer) push(ev traceEvent) {
 	t.mu.Lock()
 	if len(t.events) >= maxTraceEvents {
 		t.dropped++
+		t.dropCtr.Add(1)
 	} else {
 		t.events = append(t.events, ev)
 	}
@@ -79,6 +85,30 @@ func (t *Tracer) Dropped() int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.dropped
+}
+
+// SetDropCounter installs a counter that is bumped every time an event is
+// discarded at the memory cap, so span loss shows up in the metrics
+// exposition instead of only in a post-hoc Dropped() call.
+func (t *Tracer) SetDropCounter(c *Counter) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.dropCtr = c
+	t.mu.Unlock()
+}
+
+// SetProcessName names this tracer's own process in merged multi-process
+// output. Without it (and without any merged foreign processes) the
+// exported trace stays in the legacy single-process form.
+func (t *Tracer) SetProcessName(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.procName = name
+	t.mu.Unlock()
 }
 
 // Track is a named row in the trace (a trace_event thread). Spans on one
@@ -108,6 +138,7 @@ func (t *Tracer) Track(name string) *Track {
 			})
 		} else {
 			t.dropped++
+			t.dropCtr.Add(1)
 		}
 	}
 	t.mu.Unlock()
@@ -189,17 +220,14 @@ func writeArgs(w io.Writer, args []Arg) error {
 	return err
 }
 
-// WriteChromeTrace renders the collected events (plus any extra instant
-// events the caller merges in, e.g. audit records) as a Chrome trace_event
-// JSON object. Events are sorted by (tid, ts, name) for a stable layout.
-func (t *Tracer) WriteChromeTrace(w io.Writer) error {
-	if t == nil {
-		_, err := io.WriteString(w, `{"traceEvents":[]}`)
-		return err
-	}
-	t.mu.Lock()
-	events := append([]traceEvent(nil), t.events...)
-	t.mu.Unlock()
+// pidEvent is one event ready for rendering: a traceEvent assigned to a
+// Chrome trace process.
+type pidEvent struct {
+	pid int64
+	ev  traceEvent
+}
+
+func sortEvents(events []traceEvent) {
 	sort.SliceStable(events, func(i, j int) bool {
 		if events[i].tid != events[j].tid {
 			return events[i].tid < events[j].tid
@@ -209,10 +237,93 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		}
 		return events[i].name < events[j].name
 	})
+}
+
+// WriteChromeTrace renders the collected events (plus any extra instant
+// events the caller merges in, e.g. audit records) as a Chrome trace_event
+// JSON object. Local events are sorted by (tid, ts, name) for a stable
+// layout. When foreign processes have been merged in with AddProcess (or a
+// process name was set), each process renders under its own pid with
+// process_name metadata and per-process tracks, timestamps rebased onto
+// this tracer's epoch; and when any events were dropped at the memory cap,
+// a trace_dropped metadata note records the count.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	t.mu.Lock()
+	events := append([]traceEvent(nil), t.events...)
+	procName := t.procName
+	foreignNames := sortedProcessNames(t.foreign)
+	foreign := make([]ProcessTrace, 0, len(foreignNames))
+	totalDropped := t.dropped
+	for _, n := range foreignNames {
+		foreign = append(foreign, *t.foreign[n])
+		totalDropped += t.foreign[n].Dropped
+	}
+	t0micros := t.t0.UnixMicro()
+	t.mu.Unlock()
+
+	sortEvents(events)
+	multi := procName != "" || len(foreign) > 0
+
+	out := make([]pidEvent, 0, len(events)+16)
+	if multi {
+		localName := procName
+		if localName == "" {
+			localName = "client"
+		}
+		out = append(out, pidEvent{pid: 1, ev: traceEvent{
+			name: "process_name", ph: "M",
+			args: []Arg{{Key: "name", Val: localName}},
+		}})
+	}
+	for _, ev := range events {
+		out = append(out, pidEvent{pid: 1, ev: ev})
+	}
+	for i, pt := range foreign {
+		pid := int64(i + 2)
+		out = append(out, pidEvent{pid: pid, ev: traceEvent{
+			name: "process_name", ph: "M",
+			args: []Arg{{Key: "name", Val: pt.Process}},
+		}})
+		// Tracks get per-process tids in order of first appearance.
+		tids := map[string]int64{}
+		evs := make([]traceEvent, 0, len(pt.Events))
+		var meta []traceEvent
+		for _, rec := range pt.Events {
+			tid, ok := tids[rec.Track]
+			if !ok {
+				tid = int64(len(tids) + 1)
+				tids[rec.Track] = tid
+				meta = append(meta, traceEvent{
+					name: "thread_name", ph: "M", tid: tid,
+					args: []Arg{{Key: "name", Val: rec.Track}},
+				})
+			}
+			evs = append(evs, traceEvent{
+				name: rec.Name, ph: rec.Ph, ts: rec.Ts - t0micros,
+				dur: rec.Dur, tid: tid, args: rec.Args,
+			})
+		}
+		sortEvents(evs)
+		for _, ev := range append(meta, evs...) {
+			out = append(out, pidEvent{pid: pid, ev: ev})
+		}
+	}
+	if totalDropped > 0 {
+		out = append(out, pidEvent{pid: 1, ev: traceEvent{
+			name: "trace_dropped", ph: "M",
+			args: []Arg{{Key: "dropped", Val: totalDropped}},
+		}})
+	}
+
 	if _, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
 		return err
 	}
-	for i, ev := range events {
+	for i, pe := range out {
+		ev := pe.ev
 		if i > 0 {
 			if _, err := io.WriteString(w, ","); err != nil {
 				return err
@@ -225,7 +336,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, `{"name":%s,"ph":%q,"pid":1,"tid":%d`, name, ev.ph, ev.tid); err != nil {
+		if _, err := fmt.Fprintf(w, `{"name":%s,"ph":%q,"pid":%d,"tid":%d`, name, ev.ph, pe.pid, ev.tid); err != nil {
 			return err
 		}
 		if ev.ph != "M" {

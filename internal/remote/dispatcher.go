@@ -42,6 +42,9 @@ type DispatcherOptions struct {
 	Metrics *obs.RemoteMetrics
 	// Client overrides the HTTP client (tests); nil builds a pooled one.
 	Client *http.Client
+	// IDs generates child span IDs for traced tasks; nil builds a
+	// crypto-seeded one. Tests install a seeded generator.
+	IDs *obs.IDGen
 }
 
 // latWindow is the ring of recent successful RPC latencies the hedge
@@ -82,6 +85,7 @@ type Dispatcher struct {
 	m          *obs.RemoteMetrics
 	client     *http.Client
 	now        func() time.Time
+	ids        *obs.IDGen
 
 	mu      sync.Mutex
 	workers []*workerState
@@ -109,6 +113,9 @@ func NewDispatcher(opts DispatcherOptions) *Dispatcher {
 	if opts.Metrics == nil {
 		opts.Metrics = &obs.RemoteMetrics{} // nil-safe instruments
 	}
+	if opts.IDs == nil {
+		opts.IDs = obs.NewIDGen(0)
+	}
 	client := opts.Client
 	if client == nil {
 		client = &http.Client{Transport: &http.Transport{
@@ -124,6 +131,7 @@ func NewDispatcher(opts DispatcherOptions) *Dispatcher {
 		m:          opts.Metrics,
 		client:     client,
 		now:        time.Now,
+		ids:        opts.IDs,
 	}
 	for _, u := range opts.Workers {
 		if u != "" {
@@ -159,14 +167,21 @@ func (d *Dispatcher) Stats() []obs.RemoteWorkerStats {
 // reserve picks the eligible worker with the least outstanding cost (ties
 // to the lowest index), reserves an in-flight slot on it, and marks it
 // tried so hedges and retries of the same task spread across the pool. It
-// returns nil when no worker is placeable.
-func (d *Dispatcher) reserve(tried map[int]bool, cost int64) *workerState {
+// returns nil when no worker is placeable, plus how many untried workers
+// an open circuit breaker excluded from this pick (provenance records the
+// count per task).
+func (d *Dispatcher) reserve(tried map[int]bool, cost int64) (*workerState, int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	now := d.now()
 	best := -1
+	skips := 0
 	for i, w := range d.workers {
-		if tried[i] || w.inflight >= d.capPer || w.brokenUntil.After(now) {
+		if tried[i] || w.inflight >= d.capPer {
+			continue
+		}
+		if w.brokenUntil.After(now) {
+			skips++
 			continue
 		}
 		if best < 0 || w.pendingCost < d.workers[best].pendingCost {
@@ -174,14 +189,14 @@ func (d *Dispatcher) reserve(tried map[int]bool, cost int64) *workerState {
 		}
 	}
 	if best < 0 {
-		return nil
+		return nil, skips
 	}
 	tried[best] = true
 	w := d.workers[best]
 	w.inflight++
 	w.pendingCost += cost
 	w.sent++
-	return w
+	return w, skips
 }
 
 func (d *Dispatcher) release(w *workerState, cost int64) {
@@ -221,12 +236,41 @@ const (
 
 // rpc performs one exec round trip against w and settles the worker's
 // breaker state. The in-flight reservation made by reserve is released
-// here, whatever the outcome.
-func (d *Dispatcher) rpc(ctx context.Context, w *workerState, body []byte, cost int64) (sampling.KernelOutcome, rpcStatus) {
+// here, whatever the outcome. On traced tasks (ro carries a tracer and a
+// valid trace context) each RPC gets a child span ID, propagates it in
+// the traceparent header, records a dispatcher-side span, and merges the
+// worker's shipped spans into the tracer — all observe-only. rpc runs on
+// attempt goroutines, so it only touches the thread-safe tracer, never
+// ro's report fields (the single-threaded race loop owns those).
+func (d *Dispatcher) rpc(ctx context.Context, w *workerState, body []byte, cost int64, ro *sampling.RemoteObs, hedged bool) (sampling.KernelOutcome, rpcStatus) {
 	defer d.release(w, cost)
 	d.m.RPCs.Inc()
+	var tp string
+	var span *obs.Span
+	if ro != nil && ro.Tracer != nil && ro.Trace.Valid() {
+		g := ro.IDs
+		if g == nil {
+			g = d.ids
+		}
+		child := ro.Trace.Child(g)
+		tp = child.Traceparent()
+		span = ro.Tracer.Track("dispatch:"+w.url).Start("rpc "+w.url,
+			obs.Arg{Key: "trace_id", Val: child.TraceID},
+			obs.Arg{Key: "parent_id", Val: ro.Trace.SpanID},
+			obs.Arg{Key: "span_id", Val: child.SpanID},
+			obs.Arg{Key: "hedge", Val: hedged},
+		)
+	}
 	start := d.now()
-	oc, st := d.roundTrip(ctx, w.url, body)
+	oc, er, st := d.roundTrip(ctx, w.url, body, tp)
+	if span != nil {
+		span.Arg("status", int(st)).End()
+	}
+	if st == rpcOK && ro != nil && ro.Tracer != nil && er.Process != "" {
+		ro.Tracer.AddProcess(obs.ProcessTrace{
+			Process: er.Process, Events: er.Spans, Dropped: er.SpansDropped,
+		})
+	}
 	switch st {
 	case rpcOK:
 		d.m.RPCSuccess.Inc()
@@ -261,48 +305,53 @@ func (d *Dispatcher) rpc(ctx context.Context, w *workerState, body []byte, cost 
 
 // roundTrip is the bare HTTP exchange: anything other than a 200 carrying
 // a decodable outcome under the expected key is a failure (except 429,
-// which is the distinct "busy" signal).
-func (d *Dispatcher) roundTrip(ctx context.Context, base string, body []byte) (sampling.KernelOutcome, rpcStatus) {
+// which is the distinct "busy" signal). A non-empty traceparent travels in
+// the request header.
+func (d *Dispatcher) roundTrip(ctx context.Context, base string, body []byte, traceparent string) (sampling.KernelOutcome, ExecResponse, rpcStatus) {
 	ctx, cancel := context.WithTimeout(ctx, d.timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+ExecPath, bytes.NewReader(body))
 	if err != nil {
-		return sampling.KernelOutcome{}, rpcFailed
+		return sampling.KernelOutcome{}, ExecResponse{}, rpcFailed
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set(TraceparentHeader, traceparent)
+	}
 	resp, err := d.client.Do(req)
 	if err != nil {
-		return sampling.KernelOutcome{}, rpcFailed
+		return sampling.KernelOutcome{}, ExecResponse{}, rpcFailed
 	}
 	defer func() {
 		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 		_ = resp.Body.Close()
 	}()
 	if resp.StatusCode == http.StatusTooManyRequests {
-		return sampling.KernelOutcome{}, rpcBusy
+		return sampling.KernelOutcome{}, ExecResponse{}, rpcBusy
 	}
 	if resp.StatusCode != http.StatusOK {
-		return sampling.KernelOutcome{}, rpcFailed
+		return sampling.KernelOutcome{}, ExecResponse{}, rpcFailed
 	}
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, MaxRequestBytes))
 	if err != nil {
-		return sampling.KernelOutcome{}, rpcFailed
+		return sampling.KernelOutcome{}, ExecResponse{}, rpcFailed
 	}
 	var er ExecResponse
 	if err := json.Unmarshal(raw, &er); err != nil {
-		return sampling.KernelOutcome{}, rpcFailed
+		return sampling.KernelOutcome{}, ExecResponse{}, rpcFailed
 	}
 	oc, err := sampling.DecodeOutcome(er.Outcome)
 	if err != nil {
-		return sampling.KernelOutcome{}, rpcFailed
+		return sampling.KernelOutcome{}, ExecResponse{}, rpcFailed
 	}
-	return oc, rpcOK
+	return oc, er, rpcOK
 }
 
 type attemptResult struct {
 	oc    sampling.KernelOutcome
 	st    rpcStatus
 	hedge bool
+	url   string
 }
 
 // ExecTask implements sampling.RemoteTier. Each task runs as a sequence of
@@ -310,8 +359,11 @@ type attemptResult struct {
 // the primary outlives the hedge delay — one hedged duplicate on another
 // untried worker, first valid result winning and the loser cancelled.
 // Failed waves retry on remaining workers until the pool is exhausted;
-// only then does the task fall back to the caller's local simulator.
-func (d *Dispatcher) ExecTask(key string, dev gpu.Device, k *trace.KernelDesc, task sampling.KernelTask, cost int64) (sampling.KernelOutcome, bool) {
+// only then does the task fall back to the caller's local simulator. ro
+// (nil when nothing observes) collects the winning worker's identity and
+// hedge/retry/breaker-skip counts, and carries the trace context the RPCs
+// propagate — all writes to it happen on this goroutine.
+func (d *Dispatcher) ExecTask(key string, dev gpu.Device, k *trace.KernelDesc, task sampling.KernelTask, cost int64, ro *sampling.RemoteObs) (sampling.KernelOutcome, bool) {
 	if d == nil {
 		// A typed-nil Dispatcher installed as a RemoteTier behaves like no
 		// remote tier at all.
@@ -327,12 +379,20 @@ func (d *Dispatcher) ExecTask(key string, dev gpu.Device, k *trace.KernelDesc, t
 		return sampling.KernelOutcome{}, false
 	}
 	tried := make(map[int]bool, len(d.workers))
+	waves := 0
 	for {
-		w := d.reserve(tried, cost)
+		w, skips := d.reserve(tried, cost)
+		if ro != nil {
+			ro.BreakerSkips += skips
+		}
 		if w == nil {
 			break
 		}
-		if oc, ok := d.race(w, tried, body, cost); ok {
+		waves++
+		if ro != nil {
+			ro.Retries = waves - 1
+		}
+		if oc, ok := d.race(w, tried, body, cost, ro); ok {
 			d.m.Tasks.Inc()
 			return oc, true
 		}
@@ -343,16 +403,17 @@ func (d *Dispatcher) ExecTask(key string, dev gpu.Device, k *trace.KernelDesc, t
 
 // race runs one wave: the already-reserved primary w, hedged once onto a
 // different worker if w is slow. It returns ok=false only when every RPC
-// it launched has settled without a valid outcome.
-func (d *Dispatcher) race(w *workerState, tried map[int]bool, body []byte, cost int64) (sampling.KernelOutcome, bool) {
+// it launched has settled without a valid outcome. race runs on the
+// ExecTask goroutine, so it is the single writer of ro's report fields.
+func (d *Dispatcher) race(w *workerState, tried map[int]bool, body []byte, cost int64, ro *sampling.RemoteObs) (sampling.KernelOutcome, bool) {
 	ctx, cancelAll := context.WithCancel(context.Background())
 	defer cancelAll()
 	// Buffered to the maximum attempts in flight, so a losing RPC's send
 	// never blocks after the winner returns.
 	ch := make(chan attemptResult, 2)
 	go func() {
-		oc, st := d.rpc(ctx, w, body, cost)
-		ch <- attemptResult{oc: oc, st: st}
+		oc, st := d.rpc(ctx, w, body, cost, ro, false)
+		ch <- attemptResult{oc: oc, st: st, url: w.url}
 	}()
 	hedge := time.NewTimer(d.hedgeDelay())
 	defer hedge.Stop()
@@ -365,6 +426,9 @@ func (d *Dispatcher) race(w *workerState, tried map[int]bool, body []byte, cost 
 				if r.hedge {
 					d.m.HedgeWins.Inc()
 				}
+				if ro != nil {
+					ro.Worker = r.url
+				}
 				return r.oc, true
 			}
 			if outstanding == 0 {
@@ -374,15 +438,21 @@ func (d *Dispatcher) race(w *workerState, tried map[int]bool, body []byte, cost 
 			// The primary has outlived the p95 of recent successes: launch
 			// one duplicate on a different worker. The timer fires once, so
 			// a wave is at most two RPCs wide.
-			w2 := d.reserve(tried, cost)
+			w2, skips := d.reserve(tried, cost)
+			if ro != nil {
+				ro.BreakerSkips += skips
+			}
 			if w2 == nil {
 				continue
 			}
 			d.m.Hedges.Inc()
+			if ro != nil {
+				ro.Hedges++
+			}
 			outstanding++
 			go func() {
-				oc, st := d.rpc(ctx, w2, body, cost)
-				ch <- attemptResult{oc: oc, st: st, hedge: true}
+				oc, st := d.rpc(ctx, w2, body, cost, ro, true)
+				ch <- attemptResult{oc: oc, st: st, hedge: true, url: w2.url}
 			}()
 		}
 	}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"pka/internal/gpu"
+	"pka/internal/obs"
 	"pka/internal/sampling"
 	"pka/internal/trace"
 )
@@ -29,6 +30,16 @@ const (
 	ExecPath = "/v1/exec"
 	// HealthPath reports worker occupancy and cache statistics (GET).
 	HealthPath = "/v1/health"
+	// SpansPath drains the worker's parked span buffer (GET) — spans from
+	// requests whose response never reached the client (hedged losers,
+	// cancelled RPCs) wait here instead of vanishing.
+	SpansPath = "/debug/spans"
+	// MetricsPath serves the worker's Prometheus exposition (GET) when the
+	// daemon runs with an observer.
+	MetricsPath = "/metrics"
+	// TraceparentHeader carries the W3C-style trace context on exec
+	// requests; absent or malformed means "not traced".
+	TraceparentHeader = "traceparent"
 	// MaxRequestBytes bounds an exec request body. A kernel descriptor plus
 	// device config is a few hundred bytes; anything near the limit is
 	// garbage, not a bigger kernel.
@@ -49,19 +60,28 @@ type ExecRequest struct {
 
 // ExecResponse carries one task outcome back. Outcome is the
 // sampling.EncodeOutcome payload (base64 inside JSON), the exact bytes the
-// artifact store holds under the request key.
+// artifact store holds under the request key. On traced requests the
+// worker also ships the spans it recorded (timestamps in wall-clock
+// microseconds) so the client can merge them into one cross-process
+// trace; untraced requests leave the span fields empty and the response
+// bytes unchanged.
 type ExecResponse struct {
-	Outcome []byte `json:"outcome"`
+	Outcome      []byte            `json:"outcome"`
+	Process      string            `json:"process,omitempty"`
+	Spans        []obs.EventRecord `json:"spans,omitempty"`
+	SpansDropped int64             `json:"spans_dropped,omitempty"`
 }
 
 // Health is the worker's self-report.
 type Health struct {
-	Capacity    int         `json:"capacity"`
-	InFlight    int         `json:"in_flight"`
-	Served      uint64      `json:"served"`
-	BusyRejects uint64      `json:"busy_rejects"`
-	Failed      uint64      `json:"failed"`
-	Cache       CacheHealth `json:"cache"`
+	Capacity    int           `json:"capacity"`
+	InFlight    int           `json:"in_flight"`
+	Served      uint64        `json:"served"`
+	BusyRejects uint64        `json:"busy_rejects"`
+	Failed      uint64        `json:"failed"`
+	Cache       CacheHealth   `json:"cache"`
+	Process     string        `json:"process,omitempty"`
+	Build       obs.BuildInfo `json:"build"`
 }
 
 // CacheHealth is the worker-local artifact store's counters (zero when the

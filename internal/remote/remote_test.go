@@ -228,7 +228,7 @@ func TestDispatcherEmptyPool(t *testing.T) {
 	k := w.Gen(0)
 	dev := gpu.VoltaV100()
 	task := sampling.KernelTask{Mode: sampling.ModeFull}
-	if _, ok := d.ExecTask(sampling.TaskKey(dev, &k, task), dev, &k, task, 1); ok {
+	if _, ok := d.ExecTask(sampling.TaskKey(dev, &k, task), dev, &k, task, 1, nil); ok {
 		t.Fatal("empty pool claimed to execute a task")
 	}
 	if o.RemoteMetrics().FallbackLocal.Value() != 1 {
@@ -249,7 +249,7 @@ func TestDispatcherMalformedResponse(t *testing.T) {
 	k := w.Gen(0)
 	dev := gpu.VoltaV100()
 	task := sampling.KernelTask{Mode: sampling.ModeFull}
-	if _, ok := d.ExecTask(sampling.TaskKey(dev, &k, task), dev, &k, task, 1); ok {
+	if _, ok := d.ExecTask(sampling.TaskKey(dev, &k, task), dev, &k, task, 1, nil); ok {
 		t.Fatal("malformed response accepted as an outcome")
 	}
 	m := o.RemoteMetrics()
@@ -275,7 +275,7 @@ func TestDispatcherBusyDoesNotTripBreaker(t *testing.T) {
 	task := sampling.KernelTask{Mode: sampling.ModeFull}
 	key := sampling.TaskKey(dev, &k, task)
 	for i := 0; i < 5; i++ {
-		if _, ok := d.ExecTask(key, dev, &k, task, 1); ok {
+		if _, ok := d.ExecTask(key, dev, &k, task, 1, nil); ok {
 			t.Fatal("busy worker produced an outcome")
 		}
 	}
@@ -308,7 +308,7 @@ func TestDispatcherBreaker(t *testing.T) {
 	task := sampling.KernelTask{Mode: sampling.ModeFull}
 	key := sampling.TaskKey(dev, &k, task)
 	for i := 0; i < 4; i++ {
-		d.ExecTask(key, dev, &k, task, 1)
+		d.ExecTask(key, dev, &k, task, 1, nil)
 	}
 	m := o.RemoteMetrics()
 	if m.BreakerOpens.Value() == 0 {
@@ -323,13 +323,13 @@ func TestDispatcherBreaker(t *testing.T) {
 		t.Fatalf("Stats does not report the open breaker: %+v", st)
 	}
 	// Broken worker -> no RPC at all, immediate fallback.
-	d.ExecTask(key, dev, &k, task, 1)
+	d.ExecTask(key, dev, &k, task, 1, nil)
 	if m.RPCs.Value() != rpcsWhenOpen {
 		t.Fatal("dispatcher sent an RPC while the breaker was open")
 	}
 	// After the cooldown the worker is probed again.
 	time.Sleep(300 * time.Millisecond)
-	d.ExecTask(key, dev, &k, task, 1)
+	d.ExecTask(key, dev, &k, task, 1, nil)
 	if m.RPCs.Value() == rpcsWhenOpen {
 		t.Fatal("breaker never half-opened after the cooldown")
 	}
@@ -364,7 +364,7 @@ func TestDispatcherHedgeWins(t *testing.T) {
 	k := w.Gen(0)
 	dev := gpu.VoltaV100()
 	task := sampling.KernelTask{Mode: sampling.ModeFull}
-	oc, ok := d.ExecTask(sampling.TaskKey(dev, &k, task), dev, &k, task, 1)
+	oc, ok := d.ExecTask(sampling.TaskKey(dev, &k, task), dev, &k, task, 1, nil)
 	if !ok {
 		t.Fatal("hedged task failed")
 	}

@@ -4,10 +4,17 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"sync"
 	"sync/atomic"
 
+	"pka/internal/obs"
 	"pka/internal/sampling"
 )
+
+// maxParkedSpans bounds the worker's parked-span ring: spans whose
+// response never reached the client wait here for a /debug/spans drain;
+// beyond the cap the oldest are dropped and counted.
+const maxParkedSpans = 1 << 12
 
 // Server executes kernel tasks on behalf of remote dispatchers. It wraps a
 // worker-side sampling.Exec — which layers the mem-singleflight and disk
@@ -29,8 +36,20 @@ type Server struct {
 	busy   atomic.Uint64
 	failed atomic.Uint64
 
+	ids *obs.IDGen
+
+	spanMu      sync.Mutex
+	parked      []obs.EventRecord
+	parkDropped int64
+
 	// Logf, when set, receives one line per exec request (access log).
 	Logf func(format string, args ...any)
+	// Name identifies this worker process in traces, health, and span
+	// shipping (default "pkad").
+	Name string
+	// Obs, when set, serves the daemon's Prometheus exposition on
+	// MetricsPath.
+	Obs *obs.Observer
 }
 
 // NewServer builds a worker around exec with the given concurrent-task
@@ -39,7 +58,22 @@ func NewServer(exec *sampling.Exec, capacity int) *Server {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Server{exec: exec, cap: capacity, sem: make(chan struct{}, capacity)}
+	return &Server{exec: exec, cap: capacity, sem: make(chan struct{}, capacity), ids: obs.NewIDGen(0)}
+}
+
+// SetIDGen replaces the span-ID generator — tests install a seeded one
+// for deterministic IDs.
+func (s *Server) SetIDGen(g *obs.IDGen) {
+	if g != nil {
+		s.ids = g
+	}
+}
+
+func (s *Server) name() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return "pkad"
 }
 
 // Handler returns the worker's HTTP mux.
@@ -47,6 +81,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(ExecPath, s.handleExec)
 	mux.HandleFunc(HealthPath, s.handleHealth)
+	mux.HandleFunc(SpansPath, s.handleSpans)
+	mux.HandleFunc(MetricsPath, s.handleMetrics)
 	return mux
 }
 
@@ -89,17 +125,105 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	oc, err := s.exec.RunKernelTask(req.Device, &req.Kernel, req.Task)
+	// A valid traceparent turns on per-request tracing: spans land in a
+	// request-local tracer and ship back inside the response. Tracing is
+	// observe-only — the execution path is identical either way.
+	var (
+		tr     *obs.Tracer
+		span   *obs.Span
+		flight *sampling.FlightRecorder
+		to     sampling.TaskObs
+	)
+	parent, traced := obs.ParseTraceparent(r.Header.Get(TraceparentHeader))
+	if traced {
+		tr = obs.NewTracer()
+		flight = sampling.NewFlightRecorder()
+		to = sampling.TaskObs{
+			Flight: flight,
+			Sim:    &obs.SimObs{Track: tr.Track("sim")},
+		}
+		span = tr.Track("task").Start("exec "+req.Kernel.Name,
+			obs.Arg{Key: "trace_id", Val: parent.TraceID},
+			obs.Arg{Key: "parent_id", Val: parent.SpanID},
+			obs.Arg{Key: "span_id", Val: s.ids.SpanID()},
+			obs.Arg{Key: "key", Val: req.Key[:12]},
+			obs.Arg{Key: "mode", Val: int(req.Task.Mode)},
+		)
+	}
+	oc, err := s.exec.RunKernelTaskObs(req.Device, &req.Kernel, req.Task, to)
 	if err != nil {
+		span.End()
 		s.failed.Add(1)
 		s.logf("task %s failed: %v", req.Key[:12], err)
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	resp := ExecResponse{Outcome: sampling.EncodeOutcome(oc)}
+	if traced {
+		tier := sampling.TierSim
+		if es := flight.Entries(); len(es) > 0 {
+			tier = es[0].Tier
+		}
+		span.Arg("tier", tier.String()).End()
+		pt := tr.ExportProcess(s.name())
+		resp.Process = pt.Process
+		resp.Spans = pt.Events
+		resp.SpansDropped = pt.Dropped
+	}
 	s.served.Add(1)
 	s.logf("served %s kernel=%q mode=%d", req.Key[:12], req.Kernel.Name, req.Task.Mode)
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(ExecResponse{Outcome: sampling.EncodeOutcome(oc)})
+	if err := json.NewEncoder(w).Encode(resp); err != nil || r.Context().Err() != nil {
+		// The client never saw this response — a hedged loser's cancelled
+		// RPC, usually. Park the spans for a /debug/spans drain instead of
+		// losing that side of the race.
+		if traced {
+			s.parkSpans(resp.Spans, resp.SpansDropped)
+		}
+	}
+}
+
+// parkSpans buffers spans whose response did not reach the client.
+func (s *Server) parkSpans(events []obs.EventRecord, dropped int64) {
+	s.spanMu.Lock()
+	defer s.spanMu.Unlock()
+	s.parkDropped += dropped
+	for _, ev := range events {
+		if len(s.parked) >= maxParkedSpans {
+			// Drop the oldest: recent spans are the ones a live drain wants.
+			copy(s.parked, s.parked[1:])
+			s.parked = s.parked[:len(s.parked)-1]
+			s.parkDropped++
+		}
+		s.parked = append(s.parked, ev)
+	}
+}
+
+// handleSpans drains the parked-span buffer as a ProcessTrace, so a
+// client can collect the spans of requests whose responses it cancelled.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	s.spanMu.Lock()
+	pt := obs.ProcessTrace{Process: s.name(), Events: s.parked, Dropped: s.parkDropped}
+	s.parked = nil
+	s.parkDropped = 0
+	s.spanMu.Unlock()
+	if pt.Events == nil {
+		pt.Events = []obs.EventRecord{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(pt)
+}
+
+// handleMetrics serves the daemon observer's Prometheus exposition; 404
+// when the daemon runs without one.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.Obs == nil {
+		http.NotFound(w, r)
+		return
+	}
+	s.Obs.SyncCacheStats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.Obs.Metrics.WritePrometheus(w)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -109,6 +233,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Served:      s.served.Load(),
 		BusyRejects: s.busy.Load(),
 		Failed:      s.failed.Load(),
+		Process:     s.name(),
+		Build:       obs.Build(),
 	}
 	if st := s.exec.Store(); st != nil {
 		cs := st.Stats()

@@ -1,0 +1,167 @@
+package remote_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"pka/internal/gpu"
+	"pka/internal/obs"
+	"pka/internal/remote"
+	"pka/internal/sampling"
+	"pka/internal/workload"
+)
+
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Pid  int64                  `json:"pid"`
+	Args map[string]interface{} `json:"args"`
+}
+
+func parseChrome(t *testing.T, b []byte) []chromeEvent {
+	t.Helper()
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, b)
+	}
+	return doc.TraceEvents
+}
+
+func argStr(ev chromeEvent, key string) string {
+	s, _ := ev.Args[key].(string)
+	return s
+}
+
+// TestDistributedTraceLoopback is the cross-process tracing golden: a
+// traced task dispatched to an in-process worker yields one merged Chrome
+// trace holding both processes' spans under a single trace ID, with the
+// worker's span parented to the dispatcher's RPC span.
+func TestDistributedTraceLoopback(t *testing.T) {
+	srv := remote.NewServer(sampling.NewExec(nil, nil), 4)
+	srv.Name = "worker-a"
+	srv.SetIDGen(obs.NewIDGen(101))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	d := remote.NewDispatcher(remote.DispatcherOptions{
+		Workers: []string{ts.URL},
+		IDs:     obs.NewIDGen(7),
+	})
+
+	tr := obs.NewTracer()
+	tr.SetProcessName("pka")
+	ids := obs.NewIDGen(5)
+	root := ids.NewTrace()
+	ro := &sampling.RemoteObs{Trace: root, Tracer: tr, IDs: ids}
+
+	dev := gpu.VoltaV100()
+	w := workload.Find("Rodinia/gauss_mat4")
+	if w == nil {
+		t.Fatal("study workload missing")
+	}
+	k := w.Kernel(0)
+	task := sampling.KernelTask{Mode: sampling.ModeFull}
+	key := sampling.TaskKey(dev, &k, task)
+
+	oc, ok := d.ExecTask(key, dev, &k, task, 100, ro)
+	if !ok {
+		t.Fatal("dispatch failed")
+	}
+	// Tracing is observe-only: the traced outcome must equal a plain local
+	// execution of the same task.
+	want, err := sampling.NewExec(nil, nil).RunKernelTask(dev, &k, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oc != want {
+		t.Fatalf("traced remote outcome %+v != local %+v", oc, want)
+	}
+	if ro.Worker != ts.URL {
+		t.Fatalf("RemoteObs.Worker = %q, want %q", ro.Worker, ts.URL)
+	}
+
+	if fp := tr.ForeignProcesses(); len(fp) != 1 || fp[0] != "worker-a" {
+		t.Fatalf("foreign processes %v, want [worker-a]", fp)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events := parseChrome(t, buf.Bytes())
+
+	procs := map[string]int64{}
+	var rpc, workerSpan *chromeEvent
+	for i, ev := range events {
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			procs[argStr(ev, "name")] = ev.Pid
+		case ev.Ph == "X" && ev.Name == "rpc "+ts.URL:
+			rpc = &events[i]
+		case ev.Ph == "X" && ev.Name == "exec "+k.Name:
+			workerSpan = &events[i]
+		}
+	}
+	if procs["pka"] == 0 || procs["worker-a"] == 0 {
+		t.Fatalf("merged trace names processes %v, want both pka and worker-a", procs)
+	}
+	if rpc == nil || workerSpan == nil {
+		t.Fatalf("missing spans: rpc=%v worker=%v\n%s", rpc, workerSpan, buf.String())
+	}
+	if workerSpan.Pid != procs["worker-a"] {
+		t.Fatalf("worker span on pid %d, want %d", workerSpan.Pid, procs["worker-a"])
+	}
+
+	// One trace ID end to end, and parent/child linkage across the
+	// process boundary: root -> dispatcher RPC span -> worker exec span.
+	if got := argStr(*rpc, "trace_id"); got != root.TraceID {
+		t.Errorf("rpc trace_id %s, want %s", got, root.TraceID)
+	}
+	if got := argStr(*workerSpan, "trace_id"); got != root.TraceID {
+		t.Errorf("worker trace_id %s, want %s", got, root.TraceID)
+	}
+	if got := argStr(*rpc, "parent_id"); got != root.SpanID {
+		t.Errorf("rpc parent_id %s, want root span %s", got, root.SpanID)
+	}
+	childID := argStr(*rpc, "span_id")
+	if childID == "" || childID == root.SpanID {
+		t.Fatalf("rpc span_id %q not a fresh child", childID)
+	}
+	if got := argStr(*workerSpan, "parent_id"); got != childID {
+		t.Errorf("worker parent_id %s, want dispatcher child span %s", got, childID)
+	}
+	if tier := argStr(*workerSpan, "tier"); tier != "sim" {
+		t.Errorf("worker tier %q, want sim (no cache on this worker)", tier)
+	}
+}
+
+// TestUntracedRequestShipsNoSpans pins that the span fields stay empty —
+// and the response bytes unchanged — when no traceparent is sent.
+func TestUntracedRequestShipsNoSpans(t *testing.T) {
+	srv := remote.NewServer(sampling.NewExec(nil, nil), 4)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	d := remote.NewDispatcher(remote.DispatcherOptions{Workers: []string{ts.URL}})
+	dev := gpu.VoltaV100()
+	w := workload.Find("Rodinia/gauss_mat4")
+	if w == nil {
+		t.Fatal("study workload missing")
+	}
+	k := w.Kernel(0)
+	task := sampling.KernelTask{Mode: sampling.ModeFull}
+	key := sampling.TaskKey(dev, &k, task)
+
+	// A RemoteObs without a tracer or valid context must not turn tracing
+	// on; it still collects worker identity.
+	ro := &sampling.RemoteObs{}
+	if _, ok := d.ExecTask(key, dev, &k, task, 100, ro); !ok {
+		t.Fatal("dispatch failed")
+	}
+	if ro.Worker != ts.URL {
+		t.Fatalf("worker identity %q not recorded", ro.Worker)
+	}
+}

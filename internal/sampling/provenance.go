@@ -1,0 +1,264 @@
+// Per-kernel execution provenance: the study "flight recorder". Every
+// kernel task the Exec ladder resolves gets one ProvEntry — which tier
+// served it (mem singleflight, disk artifact store, remote worker, fresh
+// sim), which worker, how long it queued and how long service took, and
+// any hedge/retry/breaker events along the way. Entries fold
+// deterministically in launch order regardless of execution
+// interleaving, so the recorder is a faithful account of *where* each
+// outcome came from while the outcomes themselves stay byte-identical.
+// The paper's accounting argument — you can show exactly which kernels
+// were simulated, which were projected, and at what cost — extends here
+// across process boundaries.
+package sampling
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"pka/internal/obs"
+)
+
+// Tier is the Exec ladder level that satisfied a kernel task. Numeric
+// values index obs.ExecMetrics and match obs.ExecTierNames.
+type Tier uint8
+
+// The four serving tiers, in ladder order.
+const (
+	TierMem    Tier = iota // in-memory singleflight (or waited on another caller's compute)
+	TierDisk               // content-addressed artifact store
+	TierWorker             // remote pkad worker
+	TierSim                // fresh local simulation
+)
+
+// String names the tier; unknown values render as "tier<N>".
+func (t Tier) String() string {
+	if int(t) < len(obs.ExecTierNames) {
+		return obs.ExecTierNames[t]
+	}
+	return fmt.Sprintf("tier%d", uint8(t))
+}
+
+// MarshalJSON renders the tier by name.
+func (t Tier) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + t.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the name form written by MarshalJSON.
+func (t *Tier) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for i, name := range obs.ExecTierNames {
+		if s == name {
+			*t = Tier(i)
+			return nil
+		}
+	}
+	var n uint8
+	if _, err := fmt.Sscanf(s, "tier%d", &n); err != nil {
+		return fmt.Errorf("unknown tier %q", s)
+	}
+	*t = Tier(n)
+	return nil
+}
+
+// ProvEntry is one kernel task's provenance record.
+type ProvEntry struct {
+	// Phase is the study phase that launched the kernel ("full", "pks",
+	// "pka"); Index is the launch index within that phase. Together they
+	// give the deterministic fold order.
+	Phase string `json:"phase"`
+	Index int    `json:"index"`
+	// Kernel is the launch's name (not part of the content key).
+	Kernel string `json:"kernel,omitempty"`
+	// Key is the task's content-addressed key.
+	Key string `json:"key"`
+	// Tier is the ladder level that produced the outcome.
+	Tier Tier `json:"tier"`
+	// Worker identifies the remote worker that served the task (TierWorker
+	// only).
+	Worker string `json:"worker,omitempty"`
+	// WaitNs is time from scheduler submission to execution start;
+	// ServiceNs is execution time in the ladder.
+	WaitNs    int64 `json:"wait_ns"`
+	ServiceNs int64 `json:"service_ns"`
+	// Remote-path event counts: hedged duplicate RPCs launched, extra
+	// placement waves after failures, and workers skipped on an open
+	// breaker while placing this task.
+	Hedges       int `json:"hedges,omitempty"`
+	Retries      int `json:"retries,omitempty"`
+	BreakerSkips int `json:"breaker_skips,omitempty"`
+}
+
+// FlightRecorder accumulates provenance entries for one study run. Safe
+// for concurrent use; Entries returns records sorted in (phase, launch
+// index) order so reports are deterministic however execution interleaved.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	entries []ProvEntry
+}
+
+// NewFlightRecorder returns an empty recorder.
+func NewFlightRecorder() *FlightRecorder { return &FlightRecorder{} }
+
+// Record appends one entry. Nil-safe.
+func (fr *FlightRecorder) Record(e ProvEntry) {
+	if fr == nil {
+		return
+	}
+	fr.mu.Lock()
+	fr.entries = append(fr.entries, e)
+	fr.mu.Unlock()
+}
+
+// Len reports how many entries have been recorded.
+func (fr *FlightRecorder) Len() int {
+	if fr == nil {
+		return 0
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return len(fr.entries)
+}
+
+// Entries returns a copy of the records sorted by (phase, index).
+func (fr *FlightRecorder) Entries() []ProvEntry {
+	if fr == nil {
+		return nil
+	}
+	fr.mu.Lock()
+	out := append([]ProvEntry(nil), fr.entries...)
+	fr.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Phase != out[j].Phase {
+			return out[i].Phase < out[j].Phase
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+// TierCounts returns how many entries each tier served, keyed by tier
+// name. Values always sum to Len().
+func (fr *FlightRecorder) TierCounts() map[string]int {
+	counts := map[string]int{}
+	for _, e := range fr.Entries() {
+		counts[e.Tier.String()]++
+	}
+	return counts
+}
+
+// WorkerCounts returns how many entries each remote worker served.
+func (fr *FlightRecorder) WorkerCounts() map[string]int {
+	counts := map[string]int{}
+	for _, e := range fr.Entries() {
+		if e.Worker != "" {
+			counts[e.Worker]++
+		}
+	}
+	return counts
+}
+
+// WriteNDJSON writes one JSON object per entry in (phase, index) order —
+// the flight-recorder artifact format.
+func (fr *FlightRecorder) WriteNDJSON(w io.Writer) error {
+	for _, e := range fr.Entries() {
+		if _, err := fmt.Fprintf(w,
+			`{"phase":%q,"index":%d,"kernel":%q,"key":%q,"tier":%q,"worker":%q,"wait_ns":%d,"service_ns":%d,"hedges":%d,"retries":%d,"breaker_skips":%d}`+"\n",
+			e.Phase, e.Index, e.Kernel, e.Key, e.Tier.String(), e.Worker,
+			e.WaitNs, e.ServiceNs, e.Hedges, e.Retries, e.BreakerSkips); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteReport renders the human-readable tier-attribution report: per-tier
+// kernel counts with wait/service time totals, per-worker counts, and the
+// remote-path event totals. Byte-deterministic for a given set of entries.
+func (fr *FlightRecorder) WriteReport(w io.Writer) error {
+	entries := fr.Entries()
+	if _, err := fmt.Fprintf(w, "execution provenance: %d kernel launches\n", len(entries)); err != nil {
+		return err
+	}
+	type agg struct {
+		n               int
+		waitNs, svcNs   int64
+		hedges, retries int
+		breakerSkips    int
+	}
+	tiers := map[Tier]*agg{}
+	workers := map[string]int{}
+	for _, e := range entries {
+		a := tiers[e.Tier]
+		if a == nil {
+			a = &agg{}
+			tiers[e.Tier] = a
+		}
+		a.n++
+		a.waitNs += e.WaitNs
+		a.svcNs += e.ServiceNs
+		a.hedges += e.Hedges
+		a.retries += e.Retries
+		a.breakerSkips += e.BreakerSkips
+		if e.Worker != "" {
+			workers[e.Worker]++
+		}
+	}
+	for t := TierMem; t <= TierSim; t++ {
+		a := tiers[t]
+		if a == nil {
+			a = &agg{}
+		}
+		if _, err := fmt.Fprintf(w, "  tier %-6s %6d launches  wait %12s  service %12s\n",
+			t.String(), a.n,
+			time.Duration(a.waitNs).Round(time.Microsecond),
+			time.Duration(a.svcNs).Round(time.Microsecond)); err != nil {
+			return err
+		}
+	}
+	names := make([]string, 0, len(workers))
+	for n := range workers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "  worker %s served %d\n", n, workers[n]); err != nil {
+			return err
+		}
+	}
+	var hedges, retries, skips int
+	for _, a := range tiers {
+		hedges += a.hedges
+		retries += a.retries
+		skips += a.breakerSkips
+	}
+	if hedges+retries+skips > 0 {
+		if _, err := fmt.Fprintf(w, "  remote events: %d hedges, %d retries, %d breaker skips\n",
+			hedges, retries, skips); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RemoteObs is the observe-only context the Exec ladder hands the remote
+// tier for one task: the trace context to propagate, the tracer to merge
+// worker spans into, and — filled in by the tier — the identity of the
+// worker that served the task plus the hedge/retry/breaker event counts
+// accumulated while placing it. It never influences placement or results.
+type RemoteObs struct {
+	Trace  obs.TraceContext
+	Tracer *obs.Tracer
+	IDs    *obs.IDGen
+
+	Worker       string
+	Hedges       int
+	Retries      int
+	BreakerSkips int
+}

@@ -1,0 +1,146 @@
+package sampling
+
+import (
+	"strings"
+	"testing"
+
+	"pka/internal/artifact"
+	"pka/internal/gpu"
+)
+
+func TestFlightRecorderDeterministicFold(t *testing.T) {
+	fr := NewFlightRecorder()
+	// Record out of launch order, as parallel execution would.
+	fr.Record(ProvEntry{Phase: "pks", Index: 1, Tier: TierSim})
+	fr.Record(ProvEntry{Phase: "full", Index: 2, Tier: TierDisk})
+	fr.Record(ProvEntry{Phase: "full", Index: 0, Tier: TierSim})
+	fr.Record(ProvEntry{Phase: "pks", Index: 0, Tier: TierWorker, Worker: "http://w1"})
+
+	es := fr.Entries()
+	want := []struct {
+		phase string
+		index int
+	}{{"full", 0}, {"full", 2}, {"pks", 0}, {"pks", 1}}
+	if len(es) != len(want) {
+		t.Fatalf("got %d entries, want %d", len(es), len(want))
+	}
+	for i, w := range want {
+		if es[i].Phase != w.phase || es[i].Index != w.index {
+			t.Fatalf("entry %d = %s/%d, want %s/%d", i, es[i].Phase, es[i].Index, w.phase, w.index)
+		}
+	}
+
+	tiers := fr.TierCounts()
+	sum := 0
+	for _, n := range tiers {
+		sum += n
+	}
+	if sum != fr.Len() {
+		t.Fatalf("tier counts sum %d != %d launches", sum, fr.Len())
+	}
+	if tiers["sim"] != 2 || tiers["disk"] != 1 || tiers["worker"] != 1 {
+		t.Fatalf("tier counts %v", tiers)
+	}
+	if wc := fr.WorkerCounts(); wc["http://w1"] != 1 {
+		t.Fatalf("worker counts %v", wc)
+	}
+}
+
+func TestFlightReportGolden(t *testing.T) {
+	fr := NewFlightRecorder()
+	fr.Record(ProvEntry{Phase: "full", Index: 0, Tier: TierSim,
+		WaitNs: 1_000_000, ServiceNs: 2_000_000})
+	fr.Record(ProvEntry{Phase: "pks", Index: 0, Tier: TierWorker,
+		Worker: "http://w1", ServiceNs: 3_000_000, Hedges: 1})
+
+	var sb strings.Builder
+	if err := fr.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"execution provenance: 2 kernel launches",
+		"  tier mem         0 launches  wait           0s  service           0s",
+		"  tier disk        0 launches  wait           0s  service           0s",
+		"  tier worker      1 launches  wait           0s  service          3ms",
+		"  tier sim         1 launches  wait          1ms  service          2ms",
+		"  worker http://w1 served 1",
+		"  remote events: 1 hedges, 0 retries, 0 breaker skips",
+	}, "\n") + "\n"
+	if got := sb.String(); got != want {
+		t.Errorf("report mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	var nd strings.Builder
+	if err := fr.WriteNDJSON(&nd); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(nd.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("NDJSON has %d lines, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], `"tier":"sim"`) || !strings.Contains(lines[1], `"tier":"worker"`) {
+		t.Fatalf("NDJSON order/tiers wrong:\n%s", nd.String())
+	}
+}
+
+// TestExecTierAttribution runs the same kernel task through the ladder
+// three ways and checks each execution is attributed to the tier that
+// actually served it: fresh sim, then the in-memory singleflight, then a
+// cold process warming from the disk artifact store.
+func TestExecTierAttribution(t *testing.T) {
+	store, err := artifact.Open(t.TempDir(), artifact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	dev := gpu.VoltaV100()
+	k := testKernel(t)
+	task := KernelTask{Mode: ModeFull}
+
+	exec := NewExec(nil, store)
+	fr := NewFlightRecorder()
+	base, err := exec.RunKernelTaskObs(dev, &k, task, TaskObs{Flight: fr, Phase: "t", Index: 0, Kernel: k.Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.RunKernelTaskObs(dev, &k, task, TaskObs{Flight: fr, Phase: "t", Index: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := NewExec(nil, store)
+	oc, err := cold.RunKernelTaskObs(dev, &k, task, TaskObs{Flight: fr, Phase: "t", Index: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oc != base {
+		t.Fatalf("disk-served outcome differs: %+v vs %+v", oc, base)
+	}
+
+	es := fr.Entries()
+	if len(es) != 3 {
+		t.Fatalf("recorded %d entries, want 3", len(es))
+	}
+	wantTiers := []Tier{TierSim, TierMem, TierDisk}
+	for i, want := range wantTiers {
+		if es[i].Tier != want {
+			t.Errorf("launch %d attributed to %s, want %s", i, es[i].Tier, want)
+		}
+		if es[i].Key == "" {
+			t.Errorf("launch %d has no content key", i)
+		}
+		if es[i].ServiceNs < 0 || es[i].WaitNs < 0 {
+			t.Errorf("launch %d has negative durations: %+v", i, es[i])
+		}
+	}
+	if es[0].Kernel != k.Name {
+		t.Errorf("launch 0 kernel %q, want %q", es[0].Kernel, k.Name)
+	}
+
+	sum := 0
+	for _, n := range fr.TierCounts() {
+		sum += n
+	}
+	if sum != 3 {
+		t.Fatalf("tier counts sum %d, want 3", sum)
+	}
+}

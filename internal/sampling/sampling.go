@@ -64,6 +64,12 @@ func FullSim(dev gpu.Device, w *workload.Workload, budgetWarpInstrs int64) (*Res
 // in launch order — so the result is byte-identical to the serial package
 // function at any scheduler width, warm or cold.
 func (e *Exec) FullSim(dev gpu.Device, w *workload.Workload, budgetWarpInstrs int64) (*Result, error) {
+	return e.FullSimObs(dev, w, budgetWarpInstrs, nil)
+}
+
+// FullSimObs is FullSim with per-kernel observe-only wiring (tracing and
+// provenance); a nil tobs is exactly FullSim.
+func (e *Exec) FullSimObs(dev gpu.Device, w *workload.Workload, budgetWarpInstrs int64, tobs func(i int) TaskObs) (*Result, error) {
 	if budgetWarpInstrs <= 0 {
 		budgetWarpInstrs = DefaultFullSimBudget
 	}
@@ -74,7 +80,7 @@ func (e *Exec) FullSim(dev gpu.Device, w *workload.Workload, budgetWarpInstrs in
 	for i := range kernels {
 		kernels[i] = w.Kernel(i)
 	}
-	outs, err := e.RunKernels(dev, KernelTask{Mode: ModeFull}, kernels, nil)
+	outs, err := e.RunKernels(dev, KernelTask{Mode: ModeFull}, kernels, tobs)
 	if err != nil {
 		return nil, fmt.Errorf("sampling: full sim of %s: %w", w.FullName(), err)
 	}

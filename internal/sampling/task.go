@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"pka/internal/artifact"
 	"pka/internal/gpu"
@@ -97,6 +98,23 @@ type TaskObs struct {
 	Audit        *obs.Audit
 	AuditSubject string
 	PKPMetrics   *obs.PKPMetrics
+
+	// Distributed-tracing context: the trace this task belongs to, the
+	// tracer to record spans (and merge worker spans) into, and the ID
+	// generator for child span IDs. All optional and observe-only.
+	Trace  obs.TraceContext
+	Tracer *obs.Tracer
+	IDs    *obs.IDGen
+
+	// Provenance: when Flight is set, the ladder records one ProvEntry per
+	// task under (Phase, Index) with the launch's Kernel name. QueuedAt
+	// marks scheduler submission so queue wait can be attributed; RunKernels
+	// fills it (and Kernel) when the caller leaves them zero.
+	Flight   *FlightRecorder
+	Phase    string
+	Index    int
+	Kernel   string
+	QueuedAt time.Time
 }
 
 // taskSchema salts every content key with the outcome encoding and task
@@ -230,8 +248,12 @@ func DecodeOutcome(b []byte) (KernelOutcome, error) {
 // "could not obtain the outcome remotely, run it locally", whatever the
 // reason. cost is the kernel's dynamic warp-instruction count — the same
 // estimate the scheduler prioritizes by — and seeds least-loaded placement.
+// ro is the observe-only trace/provenance context (nil when nothing
+// observes); implementations propagate ro.Trace to workers, merge shipped
+// spans into ro.Tracer, and report the serving worker plus
+// hedge/retry/breaker counts back into it.
 type RemoteTier interface {
-	ExecTask(key string, dev gpu.Device, k *trace.KernelDesc, task KernelTask, cost int64) (KernelOutcome, bool)
+	ExecTask(key string, dev gpu.Device, k *trace.KernelDesc, task KernelTask, cost int64, ro *RemoteObs) (KernelOutcome, bool)
 }
 
 // Exec bundles the execution resources one study run shares across all of
@@ -246,6 +268,7 @@ type Exec struct {
 	store  *artifact.Store
 	remote RemoteTier
 	mem    parallel.Cache[string, KernelOutcome]
+	execM  *obs.ExecMetrics
 }
 
 // NewExec builds an Exec. Either resource may be nil: a nil scheduler runs
@@ -261,6 +284,14 @@ func NewExec(sched *parallel.Scheduler, store *artifact.Store) *Exec {
 func (e *Exec) SetRemote(r RemoteTier) {
 	if e != nil {
 		e.remote = r
+	}
+}
+
+// SetMetrics installs (or, with nil, removes) the per-tier metrics bundle.
+// Observe-only: tier counters and latency histograms, never results.
+func (e *Exec) SetMetrics(m *obs.ExecMetrics) {
+	if e != nil {
+		e.execM = m
 	}
 }
 
@@ -298,9 +329,21 @@ func (e *Exec) RunKernels(dev gpu.Device, task KernelTask, kernels []trace.Kerne
 	if tobs == nil {
 		tobs = noObs
 	}
+	// All kernels are submitted to the scheduler here; queue wait is
+	// measured from this point to each task's execution start.
+	submitted := time.Now()
 	cost := func(k trace.KernelDesc) int64 { return k.TotalWarpInstructions(dev) }
 	return parallel.SchedMap(e.Scheduler(), kernels, cost, func(i int, k trace.KernelDesc) (KernelOutcome, error) {
-		return e.runKernel(dev, k, task, tobs(i))
+		to := tobs(i)
+		if to.Flight != nil {
+			if to.QueuedAt.IsZero() {
+				to.QueuedAt = submitted
+			}
+			if to.Kernel == "" {
+				to.Kernel = k.Name
+			}
+		}
+		return e.runKernel(dev, k, task, to)
 	})
 }
 
@@ -318,30 +361,57 @@ func (e *Exec) runKernel(dev gpu.Device, k trace.KernelDesc, task KernelTask, to
 // point, and skipping the remote hop is what keeps a misconfigured fleet
 // (workers pointed at each other) from looping requests forever.
 func (e *Exec) RunKernelTask(dev gpu.Device, k *trace.KernelDesc, task KernelTask) (KernelOutcome, error) {
+	return e.RunKernelTaskObs(dev, k, task, TaskObs{})
+}
+
+// RunKernelTaskObs is RunKernelTask with observe-only wiring — the worker
+// daemon passes a flight recorder so its response can say which tier
+// (disk or sim, on the worker) actually produced the outcome.
+func (e *Exec) RunKernelTaskObs(dev gpu.Device, k *trace.KernelDesc, task KernelTask, to TaskObs) (KernelOutcome, error) {
 	if e == nil {
-		return simulateKernel(dev, *k, task, TaskObs{})
+		return simulateKernel(dev, *k, task, to)
 	}
-	return e.run(dev, *k, task, TaskObs{}, false)
+	return e.run(dev, *k, task, to, false)
 }
 
 func (e *Exec) run(dev gpu.Device, k trace.KernelDesc, task KernelTask, to TaskObs, allowRemote bool) (KernelOutcome, error) {
 	key := TaskKey(dev, &k, task)
-	return e.mem.Do(key, func() (KernelOutcome, error) {
+	// observed gates all timing: with no flight recorder and no metrics
+	// bundle the ladder takes no clock readings at all.
+	observed := to.Flight != nil || e.execM != nil
+	var start time.Time
+	if observed {
+		start = time.Now()
+	}
+	// tier and ro are closure-local per caller: the singleflight runs only
+	// the winning caller's closure (on its own goroutine), so waiters keep
+	// the TierMem default — they were indeed served from memory, even
+	// though the tier split for duplicate keys depends on scheduling. The
+	// per-tier counts always sum to the launch count either way.
+	tier := TierMem
+	var ro *RemoteObs
+	oc, err := e.mem.Do(key, func() (KernelOutcome, error) {
 		if raw, ok := e.store.Get(key); ok {
 			if oc, err := DecodeOutcome(raw); err == nil {
+				tier = TierDisk
 				return oc, nil
 			}
 			// Undecodable payload under a valid checksum means schema
 			// drift without a version bump; recompute and overwrite.
 		}
 		if allowRemote && e.remote != nil {
-			if oc, ok := e.remote.ExecTask(key, dev, &k, task, k.TotalWarpInstructions(dev)); ok {
+			if to.Tracer != nil || observed {
+				ro = &RemoteObs{Trace: to.Trace, Tracer: to.Tracer, IDs: to.IDs}
+			}
+			if oc, ok := e.remote.ExecTask(key, dev, &k, task, k.TotalWarpInstructions(dev), ro); ok {
+				tier = TierWorker
 				_ = e.store.Put(key, EncodeOutcome(oc)) // warm the local disk tier too
 				return oc, nil
 			}
 			// Pool empty, degraded, or the task failed everywhere it was
 			// tried: fall through to the local simulator. Never an error.
 		}
+		tier = TierSim
 		oc, err := simulateKernel(dev, k, task, to)
 		if err != nil {
 			return KernelOutcome{}, err
@@ -349,6 +419,36 @@ func (e *Exec) run(dev gpu.Device, k trace.KernelDesc, task KernelTask, to TaskO
 		_ = e.store.Put(key, EncodeOutcome(oc)) // best-effort persistence
 		return oc, nil
 	})
+	if err != nil {
+		return oc, err
+	}
+	if observed {
+		end := time.Now()
+		e.execM.Observe(int(tier), end.Sub(start).Seconds())
+		if to.Flight != nil {
+			entry := ProvEntry{
+				Phase:     to.Phase,
+				Index:     to.Index,
+				Kernel:    to.Kernel,
+				Key:       key,
+				Tier:      tier,
+				ServiceNs: end.Sub(start).Nanoseconds(),
+			}
+			if !to.QueuedAt.IsZero() {
+				if wait := start.Sub(to.QueuedAt); wait > 0 {
+					entry.WaitNs = wait.Nanoseconds()
+				}
+			}
+			if ro != nil {
+				entry.Worker = ro.Worker
+				entry.Hedges = ro.Hedges
+				entry.Retries = ro.Retries
+				entry.BreakerSkips = ro.BreakerSkips
+			}
+			to.Flight.Record(entry)
+		}
+	}
+	return oc, nil
 }
 
 // simPool recycles simulators across kernel tasks. A cold-start simulator

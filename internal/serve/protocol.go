@@ -22,6 +22,8 @@ import (
 
 	"pka/internal/cli"
 	"pka/internal/gpu"
+	"pka/internal/obs"
+	"pka/internal/sampling"
 	"pka/internal/workload"
 )
 
@@ -36,6 +38,13 @@ const (
 	HealthPath = "/v1/health"
 	// MetricsPath serves the Prometheus exposition (GET).
 	MetricsPath = "/metrics"
+	// ProvenancePath reports the tier-attribution of recent studies as a
+	// human-readable text report (GET).
+	ProvenancePath = "/v1/debug/provenance"
+	// TraceparentHeader carries the W3C-style trace context on study
+	// requests; a valid value turns on distributed tracing for the request
+	// and parents the study's spans under the client's span.
+	TraceparentHeader = "traceparent"
 	// MaxStudyRequestBytes bounds a study request body. A request naming
 	// a built-in workload is under a kilobyte; the limit leaves room for
 	// a large inline workload document, matching the remote tier's cap.
@@ -87,11 +96,42 @@ type StudyRequest struct {
 	// Silicon also computes the silicon ground truth and reports the
 	// projection error against it.
 	Silicon bool `json:"silicon,omitempty"`
+	// Trace turns on distributed tracing for this request even without a
+	// traceparent header (the server starts a fresh root trace) and attaches
+	// the merged cross-process Chrome trace to the response. Observe-only:
+	// every other response field is byte-identical either way.
+	Trace bool `json:"trace,omitempty"`
+	// Provenance attaches the per-kernel execution provenance block — which
+	// tier served each kernel launch, from which worker, at what cost — to
+	// the response. Observe-only, like Trace.
+	Provenance bool `json:"provenance,omitempty"`
 
 	// Resolved by Validate.
 	w   *workload.Workload
 	dev gpu.Device
+
+	// Trace plumbing, set by the HTTP handler (or SetTraceParent/SetIDGen
+	// for direct callers): the client's parent context, the span-ID
+	// generator, and the flight recorder the server shares with its debug
+	// report.
+	parent obs.TraceContext
+	ids    *obs.IDGen
+	flight *sampling.FlightRecorder
 }
+
+// SetTraceParent installs the client's trace context, as the HTTP handler
+// does from the traceparent header. A valid context enables tracing for
+// the request.
+func (r *StudyRequest) SetTraceParent(tc obs.TraceContext) { r.parent = tc }
+
+// SetIDGen installs the span-ID generator tracing draws from; tests
+// install a seeded one for deterministic IDs. Nil keeps the default.
+func (r *StudyRequest) SetIDGen(g *obs.IDGen) { r.ids = g }
+
+// SetFlightRecorder installs the flight recorder provenance folds into,
+// letting a caller keep the full recorder after Run returns. Nil lets Run
+// build its own when needed.
+func (r *StudyRequest) SetFlightRecorder(fr *sampling.FlightRecorder) { r.flight = fr }
 
 // StudyResponse is the study outcome. Field order (and therefore byte
 // layout) is fixed: responses for equal requests are byte-identical
@@ -117,6 +157,30 @@ type StudyResponse struct {
 	// Silicon.
 	SiliconCycles int64   `json:"silicon_cycles,omitempty"`
 	ErrorPct      float64 `json:"error_pct,omitempty"`
+	// Provenance is present only when the request set Provenance; Trace is
+	// present only when the request was traced. Both are appended after
+	// every study field so untraced responses keep their exact historical
+	// byte layout.
+	Provenance *ProvenanceBlock `json:"provenance,omitempty"`
+	Trace      json.RawMessage  `json:"trace,omitempty"`
+}
+
+// ProvenanceBlock attributes a study's kernel launches to the Exec
+// ladder's serving tiers. Tiers values always sum to Kernels — every
+// launch is accounted to exactly one tier.
+type ProvenanceBlock struct {
+	// TraceID links the block to the request's distributed trace (empty
+	// when the request was not traced).
+	TraceID string `json:"trace_id,omitempty"`
+	// Kernels is the number of kernel launches recorded.
+	Kernels int `json:"kernels"`
+	// Tiers counts launches per serving tier (mem, disk, worker, sim).
+	Tiers map[string]int `json:"tiers"`
+	// Workers counts launches per remote worker (absent when none).
+	Workers map[string]int `json:"workers,omitempty"`
+	// Entries is the full flight-recorder content in (phase, launch index)
+	// order.
+	Entries []sampling.ProvEntry `json:"entries,omitempty"`
 }
 
 // DecodeStudyRequest reads, parses, and validates one study request. Any

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"fmt"
 
 	"pka/internal/core"
@@ -16,7 +17,9 @@ import (
 // parameters: any exec (nil for serial uncached, or any mix of mem/disk/
 // remote tiers) yields byte-identical responses, which is what lets the
 // serving tier queue, reorder, and retry without changing results. The
-// observer only adds telemetry.
+// observer only adds telemetry, and tracing/provenance only append fields
+// after the study results — every study field is byte-identical with them
+// on or off.
 func Run(exec *sampling.Exec, o *obs.Observer, req *StudyRequest) (*StudyResponse, error) {
 	if req.w == nil {
 		// Direct callers may build requests without going through
@@ -25,22 +28,79 @@ func Run(exec *sampling.Exec, o *obs.Observer, req *StudyRequest) (*StudyRespons
 			return nil, err
 		}
 	}
+	// Tracing turns on when the client shipped a traceparent or asked in
+	// the body; either way the request gets its own tracer so the merged
+	// trace holds only this study's spans. Provenance recording turns on
+	// with tracing (the root span reports tier counts), on request, or when
+	// the server injected a recorder for its debug report.
+	traced := req.Trace || req.parent.Valid()
+	flight := req.flight
+	if flight == nil && (traced || req.Provenance) {
+		flight = sampling.NewFlightRecorder()
+	}
+	ids := req.ids
+	if ids == nil && traced {
+		ids = obs.NewIDGen(0)
+	}
+	var (
+		tr   *obs.Tracer
+		root *obs.Span
+		tc   obs.TraceContext
+	)
+	if traced {
+		tr = obs.NewTracer()
+		tr.SetProcessName("pkaserve")
+		if o != nil && o.Metrics != nil {
+			tr.SetDropCounter(o.Metrics.Counter(
+				"pka_trace_dropped_total", "trace events discarded at the tracer memory cap"))
+		}
+		if req.parent.Valid() {
+			tc = req.parent.Child(ids)
+		} else {
+			tc = ids.NewTrace()
+		}
+		args := []obs.Arg{
+			{Key: "trace_id", Val: tc.TraceID},
+			{Key: "span_id", Val: tc.SpanID},
+		}
+		if req.parent.Valid() {
+			args = append(args, obs.Arg{Key: "parent_id", Val: req.parent.SpanID})
+		}
+		args = append(args,
+			obs.Arg{Key: "tenant", Val: req.Tenant},
+			obs.Arg{Key: "mode", Val: req.Mode})
+		root = tr.Track("serve").Start("study "+req.w.FullName(), args...)
+	}
 	resp := &StudyResponse{
 		Workload: req.w.FullName(),
 		Device:   req.Device,
 		Mode:     req.Mode,
 	}
 	cfg := core.Config{
-		Device: req.dev,
-		PKS:    pks.Options{TargetErrorPct: req.TargetErrorPct, MaxK: req.MaxK},
-		PKP:    pkp.Options{Threshold: req.Threshold, Window: req.Window},
-		Obs:    o,
-		Exec:   exec,
+		Device:   req.dev,
+		PKS:      pks.Options{TargetErrorPct: req.TargetErrorPct, MaxK: req.MaxK},
+		PKP:      pkp.Options{Threshold: req.Threshold, Window: req.Window},
+		Obs:      o,
+		Exec:     exec,
+		Trace:    tc,
+		TraceIDs: ids,
+		Tracer:   tr,
+		Flight:   flight,
 	}
 	switch req.Mode {
 	case "full":
-		full, err := exec.FullSim(req.dev, req.w, 0)
+		var tobs func(i int) sampling.TaskObs
+		if flight != nil {
+			tobs = func(i int) sampling.TaskObs {
+				return sampling.TaskObs{
+					Flight: flight, Phase: "full", Index: i,
+					Tracer: tr, Trace: tc, IDs: ids,
+				}
+			}
+		}
+		full, err := exec.FullSimObs(req.dev, req.w, 0, tobs)
 		if err != nil {
+			root.End()
 			return nil, fmt.Errorf("serve: full sim of %s: %w", req.w.FullName(), err)
 		}
 		resp.Kernels = full.KernelsSimulated
@@ -52,10 +112,12 @@ func Run(exec *sampling.Exec, o *obs.Observer, req *StudyRequest) (*StudyRespons
 	default: // "pks", "pka"
 		sel, err := pks.Select(req.dev, req.w, cfg.PKSOptions())
 		if err != nil {
+			root.End()
 			return nil, fmt.Errorf("serve: selection for %s: %w", req.w.FullName(), err)
 		}
 		ss, err := core.RunSampled(cfg, req.w, sel, req.Mode == "pka")
 		if err != nil {
+			root.End()
 			return nil, err
 		}
 		resp.K = sel.K
@@ -70,10 +132,28 @@ func Run(exec *sampling.Exec, o *obs.Observer, req *StudyRequest) (*StudyRespons
 	if req.Silicon {
 		sil, err := sampling.SiliconTotal(req.dev, req.w)
 		if err != nil {
+			root.End()
 			return nil, fmt.Errorf("serve: silicon walk of %s: %w", req.w.FullName(), err)
 		}
 		resp.SiliconCycles = sil.Cycles
 		resp.ErrorPct = stats.AbsPctErr(float64(resp.ProjCycles), float64(sil.Cycles))
+	}
+	if req.Provenance {
+		resp.Provenance = &ProvenanceBlock{
+			TraceID: tc.TraceID,
+			Kernels: flight.Len(),
+			Tiers:   flight.TierCounts(),
+			Workers: flight.WorkerCounts(),
+			Entries: flight.Entries(),
+		}
+	}
+	if traced {
+		root.Arg("kernels", resp.Kernels).End()
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			return nil, fmt.Errorf("serve: rendering trace: %w", err)
+		}
+		resp.Trace = buf.Bytes()
 	}
 	return resp, nil
 }

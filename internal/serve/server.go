@@ -49,6 +49,21 @@ type Options struct {
 	// Runner overrides study execution (tests stub it to control
 	// timing). Nil runs Run on Exec.
 	Runner func(*StudyRequest) (*StudyResponse, error)
+	// TraceIDs generates trace and span IDs for traced requests; nil
+	// builds a crypto-seeded one. Tests install a seeded generator for
+	// deterministic IDs.
+	TraceIDs *obs.IDGen
+}
+
+// provRingCap bounds the recent-study provenance ring behind
+// ProvenancePath.
+const provRingCap = 32
+
+// provRecord is one completed study's provenance summary.
+type provRecord struct {
+	tenant, workload, mode string
+	traceID                string
+	flight                 *sampling.FlightRecorder
 }
 
 // pending is one admitted request moving through the queue.
@@ -73,6 +88,10 @@ type Server struct {
 	o      *obs.Observer
 	m      *obs.ServeMetrics
 	rec    *Recorder
+	ids    *obs.IDGen
+
+	provMu   sync.Mutex
+	provRing []provRecord
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -98,6 +117,10 @@ func New(opts Options) *Server {
 		m:      opts.Obs.ServeMetrics(),
 		rec:    NewRecorder(opts.LatencyWindow),
 		q:      newFairQueue(opts.TenantWeights),
+		ids:    opts.TraceIDs,
+	}
+	if s.ids == nil {
+		s.ids = obs.NewIDGen(0)
 	}
 	if s.m == nil {
 		// No observer: a zero-value bundle's nil instruments absorb every
@@ -114,7 +137,7 @@ func New(opts Options) *Server {
 		s.now = time.Now
 	}
 	if s.runner == nil {
-		s.runner = func(req *StudyRequest) (*StudyResponse, error) { return Run(s.exec, s.o, req) }
+		s.runner = s.run
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -201,6 +224,45 @@ func (s *Server) work() {
 	}
 }
 
+// run is the default runner: it wires the server's span-ID generator and
+// a flight recorder into the request, executes the study, and folds the
+// completed study's provenance into the debug ring.
+func (s *Server) run(req *StudyRequest) (*StudyResponse, error) {
+	if req.ids == nil {
+		req.ids = s.ids
+	}
+	if req.flight == nil {
+		req.flight = sampling.NewFlightRecorder()
+	}
+	resp, err := Run(s.exec, s.o, req)
+	if err == nil {
+		traceID := ""
+		if resp.Provenance != nil {
+			traceID = resp.Provenance.TraceID
+		}
+		s.recordProvenance(provRecord{
+			tenant:   req.Tenant,
+			workload: resp.Workload,
+			mode:     resp.Mode,
+			traceID:  traceID,
+			flight:   req.flight,
+		})
+	}
+	return resp, err
+}
+
+// recordProvenance appends one study's summary to the bounded debug ring,
+// evicting the oldest beyond provRingCap.
+func (s *Server) recordProvenance(rec provRecord) {
+	s.provMu.Lock()
+	defer s.provMu.Unlock()
+	if len(s.provRing) >= provRingCap {
+		copy(s.provRing, s.provRing[1:])
+		s.provRing = s.provRing[:len(s.provRing)-1]
+	}
+	s.provRing = append(s.provRing, rec)
+}
+
 // runOne isolates runner panics: one poisoned request must not take the
 // server (or its sibling requests) down.
 func (s *Server) runOne(req *StudyRequest) (resp *StudyResponse, err error) {
@@ -243,16 +305,17 @@ func (s *Server) LatencyReport() *Report { return s.rec.Report() }
 
 // ServeHealth is the server's self-report.
 type ServeHealth struct {
-	QueueDepth   int   `json:"queue_depth"`
-	InFlight     int   `json:"in_flight"`
-	Workers      int   `json:"workers"`
-	Draining     bool  `json:"draining"`
-	Requests     int64 `json:"requests"`
-	Completed    int64 `json:"completed"`
-	Errors       int64 `json:"errors"`
-	Invalid      int64 `json:"invalid"`
-	Rejected     int64 `json:"rejected"`
-	DrainRejects int64 `json:"drain_rejects"`
+	QueueDepth   int           `json:"queue_depth"`
+	InFlight     int           `json:"in_flight"`
+	Workers      int           `json:"workers"`
+	Draining     bool          `json:"draining"`
+	Requests     int64         `json:"requests"`
+	Completed    int64         `json:"completed"`
+	Errors       int64         `json:"errors"`
+	Invalid      int64         `json:"invalid"`
+	Rejected     int64         `json:"rejected"`
+	DrainRejects int64         `json:"drain_rejects"`
+	Build        obs.BuildInfo `json:"build"`
 }
 
 // Health snapshots the server's counters.
@@ -270,6 +333,7 @@ func (s *Server) Health() ServeHealth {
 		Invalid:      s.invalid,
 		Rejected:     s.rejected,
 		DrainRejects: s.drainRejects,
+		Build:        obs.Build(),
 	}
 }
 
@@ -281,6 +345,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc(LatencyPath, s.handleLatency)
 	mux.HandleFunc(HealthPath, s.handleHealth)
 	mux.HandleFunc(MetricsPath, s.handleMetrics)
+	mux.HandleFunc(ProvenancePath, s.handleProvenance)
 	return mux
 }
 
@@ -297,6 +362,12 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 		s.m.Invalid.Inc()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
+	}
+	// A valid traceparent header joins the request to the client's trace;
+	// malformed or absent means "not traced" (the body's trace flag can
+	// still start a fresh root trace).
+	if tc, ok := obs.ParseTraceparent(r.Header.Get(TraceparentHeader)); ok {
+		req.SetTraceParent(tc)
 	}
 	resp, err := s.Do(req)
 	switch {
@@ -329,6 +400,31 @@ func (s *Server) handleLatency(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(s.Health())
+}
+
+// handleProvenance renders the tier-attribution reports of the most
+// recent completed studies (oldest first), one flight-recorder report per
+// study.
+func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
+	s.provMu.Lock()
+	ring := append([]provRecord(nil), s.provRing...)
+	s.provMu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(ring) == 0 {
+		fmt.Fprintf(w, "no studies completed yet\n")
+		return
+	}
+	for i, rec := range ring {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "study tenant=%s workload=%s mode=%s", rec.tenant, rec.workload, rec.mode)
+		if rec.traceID != "" {
+			fmt.Fprintf(w, " trace=%s", rec.traceID)
+		}
+		fmt.Fprintln(w)
+		_ = rec.flight.WriteReport(w)
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

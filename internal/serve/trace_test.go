@@ -1,0 +1,164 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pka/internal/obs"
+	"pka/internal/sampling"
+	"pka/internal/serve"
+)
+
+func postStudy(t *testing.T, ts *httptest.Server, body string, traceparent string) []byte {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+serve.StudyPath, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traceparent != "" {
+		req.Header.Set(serve.TraceparentHeader, traceparent)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	return b
+}
+
+// TestTracedStudyDeterminism is the tentpole acceptance test at the serve
+// tier: tracing and provenance only APPEND fields — every study byte is
+// identical with them on or off — and the appended provenance accounts
+// every kernel launch to exactly one tier.
+func TestTracedStudyDeterminism(t *testing.T) {
+	srv := serve.New(serve.Options{
+		Exec:     sampling.NewExec(nil, nil),
+		TraceIDs: obs.NewIDGen(11),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	plain := postStudy(t, ts, `{"workload":"Rodinia/gauss_mat4","mode":"pka"}`, "")
+
+	parent := obs.NewIDGen(3).NewTrace()
+	traced := postStudy(t, ts,
+		`{"workload":"Rodinia/gauss_mat4","mode":"pka","trace":true,"provenance":true}`,
+		parent.Traceparent())
+
+	// Byte-level: the traced response is the plain response with
+	// provenance and trace appended before the closing brace.
+	if !bytes.HasSuffix(plain, []byte("}\n")) {
+		t.Fatalf("unexpected plain response tail: %q", plain[len(plain)-4:])
+	}
+	prefix := plain[:len(plain)-2]
+	if !bytes.HasPrefix(traced, prefix) {
+		t.Fatalf("traced response diverges from plain study bytes:\nplain:  %s\ntraced: %s", plain, traced)
+	}
+	if !bytes.HasPrefix(traced[len(prefix):], []byte(`,"provenance":`)) {
+		t.Fatalf("traced response does not append provenance first: %s", traced[len(prefix):])
+	}
+
+	var got serve.StudyResponse
+	if err := json.Unmarshal(traced, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Provenance == nil {
+		t.Fatal("no provenance block on a provenance-requesting response")
+	}
+	if got.Provenance.TraceID != parent.TraceID {
+		t.Errorf("provenance trace ID %s, want the client's %s", got.Provenance.TraceID, parent.TraceID)
+	}
+	sum := 0
+	for _, n := range got.Provenance.Tiers {
+		sum += n
+	}
+	if sum != got.Kernels || got.Provenance.Kernels != got.Kernels {
+		t.Errorf("tier counts sum %d / provenance kernels %d, want the study's launch count %d",
+			sum, got.Provenance.Kernels, got.Kernels)
+	}
+	if len(got.Trace) == 0 {
+		t.Fatal("no merged trace on a traced response")
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			Ph   string                 `json:"ph"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(got.Trace, &doc); err != nil {
+		t.Fatalf("embedded trace is not valid JSON: %v", err)
+	}
+	foundProc, foundRoot := false, false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" && ev.Args["name"] == "pkaserve" {
+			foundProc = true
+		}
+		if ev.Ph == "X" && strings.HasPrefix(ev.Name, "study ") {
+			foundRoot = true
+			if tid, _ := ev.Args["trace_id"].(string); tid != parent.TraceID {
+				t.Errorf("root span trace_id %v, want %s", ev.Args["trace_id"], parent.TraceID)
+			}
+			if pid, _ := ev.Args["parent_id"].(string); pid != parent.SpanID {
+				t.Errorf("root span parent_id %v, want the client's span %s", ev.Args["parent_id"], parent.SpanID)
+			}
+		}
+	}
+	if !foundProc || !foundRoot {
+		t.Fatalf("merged trace missing pkaserve process (%v) or study root span (%v)", foundProc, foundRoot)
+	}
+
+	// The body flag alone (no header) starts a fresh root trace.
+	rooted := postStudy(t, ts, `{"workload":"Rodinia/gauss_mat4","mode":"pka","trace":true}`, "")
+	var fresh serve.StudyResponse
+	if err := json.Unmarshal(rooted, &fresh); err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.Trace) == 0 {
+		t.Fatal("body trace flag did not produce a trace")
+	}
+	if fresh.Provenance != nil {
+		t.Fatal("provenance block present without being requested")
+	}
+
+	// The debug endpoint reports every completed study's tier attribution.
+	dresp, err := http.Get(ts.URL + serve.ProvenancePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	db, _ := io.ReadAll(dresp.Body)
+	report := string(db)
+	if !strings.Contains(report, "execution provenance:") || !strings.Contains(report, "tier sim") {
+		t.Fatalf("provenance report missing tier attribution:\n%s", report)
+	}
+	if !strings.Contains(report, "trace="+parent.TraceID) {
+		t.Errorf("provenance report does not link the traced study:\n%s", report)
+	}
+}
+
+// TestMalformedTraceparentIgnored pins "unparseable means not traced":
+// garbage headers yield the plain response, never an error.
+func TestMalformedTraceparentIgnored(t *testing.T) {
+	srv := serve.New(serve.Options{Exec: sampling.NewExec(nil, nil)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	plain := postStudy(t, ts, `{"workload":"Rodinia/gauss_mat4","mode":"pks"}`, "")
+	garbled := postStudy(t, ts, `{"workload":"Rodinia/gauss_mat4","mode":"pks"}`, "00-zzzz-not-a-trace-01")
+	if !bytes.Equal(plain, garbled) {
+		t.Fatalf("malformed traceparent changed the response:\n%s\nvs\n%s", plain, garbled)
+	}
+}
