@@ -35,7 +35,7 @@ race:
 bench:
 	@{ $(GO) test -run NONE -bench 'SimTick' -benchmem ./internal/sim ; \
 	   $(GO) test -run NONE -bench 'SimulatorThroughput|RollingDetector|KMeansSweep|SiliconModel|WorkloadGeneration' -benchmem . ; \
-	   $(GO) test -run NONE -bench 'StudyParallel|StudyKernelSched|StudyCache|StudyRemote|Serve' -benchtime=1x . ; } \
+	   $(GO) test -run NONE -bench 'StudyParallel|StudyKernelSched|StudyCache|StudyRemote|StudySuiteDedup|Serve' -benchtime=1x . ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_study.json -baseline BENCH_study.json \
 	    -note "recorded on the 1-CPU reference box: parallel and remote sub-benches (StudyParallel/p=4, StudyRemote/workers=2) are slower than their serial arms there because fan-out only adds overhead without cores to spread across; their speedup gates apply on >= 4 CPUs"
 	@echo wrote BENCH_study.json
@@ -56,7 +56,10 @@ bench-all:
 # same request batch through the HTTP server (decode, admission,
 # weighted-fair queue, marshaling) may cost at most 3x the serial batch
 # path, tracing-enabled serving may cost at most 1.2x tracing-off, and
-# the open-loop qps arm records client-observed p50/p99.
+# the open-loop qps arm records client-observed p50/p99. The fourth stage
+# pins the suite-dedup saving itself: per-app PKS must simulate at least
+# 1.3x more warp-instructions than the shared cross-workload selection on
+# the gauss suite — the headline reduction internal/dedup exists for.
 bench-check:
 	@{ $(GO) test -run NONE -bench 'SimulatorThroughput' -benchtime=5x . ; \
 	   $(GO) test -run NONE -bench 'KMeansSweep' -benchtime=5x . ; } \
@@ -68,5 +71,8 @@ bench-check:
 	@$(GO) test -run NONE -bench 'Serve/(direct|served|traced|qps)' -benchtime=1x . \
 	| $(GO) run ./cmd/benchjson -o /dev/null \
 	    -check-max-ratio 'Serve/served:Serve/direct:3,Serve/traced:Serve/served:1.2'
+	@$(GO) test -run NONE -bench 'StudySuiteDedup' -benchtime=1x . \
+	| $(GO) run ./cmd/benchjson -o /dev/null \
+	    -check-metric-ratio 'warp-instrs:StudySuiteDedup/perapp:StudySuiteDedup/dedup:1.3'
 
 ci: vet build test race bench-check

@@ -35,9 +35,13 @@ import (
 
 	"pka/internal/artifact"
 	"pka/internal/cluster"
+	"pka/internal/core"
+	"pka/internal/dedup"
 	"pka/internal/experiments"
+	"pka/internal/gpu"
 	"pka/internal/parallel"
 	"pka/internal/pkp"
+	"pka/internal/pks"
 	"pka/internal/remote"
 	"pka/internal/sampling"
 	"pka/internal/serve"
@@ -550,6 +554,59 @@ func BenchmarkStudyCache(b *testing.B) {
 			warm := sweep(warmDir)
 			b.ReportMetric(cold.Seconds()/warm.Seconds(), "x")
 		}
+	})
+}
+
+// BenchmarkStudySuiteDedup measures the tentpole saving of the suite
+// dedup pass on the gauss size-variant suite: the `perapp` arm runs each
+// workload through its own PKS selection, the `dedup` arm runs the whole
+// suite through one shared cross-workload selection. Both arms report
+// the total simulated warp-instructions as a `warp-instrs` metric; CI
+// gates perapp/dedup >= 1.3x via benchjson -check-metric-ratio, pinning
+// the headline reduction the dedup pass exists for.
+func BenchmarkStudySuiteDedup(b *testing.B) {
+	dev := gpu.VoltaV100()
+	var ws []*workload.Workload
+	for _, n := range []string{"Rodinia/gauss_s16", "Rodinia/gauss_s64", "Rodinia/gauss_s256"} {
+		w := workload.Find(n)
+		if w == nil {
+			b.Fatalf("missing workload %s", n)
+		}
+		ws = append(ws, w)
+	}
+	cfg := core.Config{Device: dev}
+	b.Run("perapp", func(b *testing.B) {
+		var work int64
+		for i := 0; i < b.N; i++ {
+			work = 0
+			for _, w := range ws {
+				sel, err := pks.Select(dev, w, pks.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				out, err := core.RunSampled(cfg, w, sel, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				work += out.SimWarpInstrs
+			}
+		}
+		b.ReportMetric(float64(work), "warp-instrs")
+	})
+	b.Run("dedup", func(b *testing.B) {
+		var work int64
+		for i := 0; i < b.N; i++ {
+			suite, err := dedup.Select(dev, ws, dedup.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			run, err := dedup.Run(cfg, ws, suite, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			work = run.SimWarpInstrs
+		}
+		b.ReportMetric(float64(work), "warp-instrs")
 	})
 }
 

@@ -33,6 +33,15 @@
 //
 //	go test -bench Serve . | benchjson \
 //	  -check-max-ratio 'Serve/served:Serve/direct:3'
+//
+// -check-metric-ratio gates on a custom b.ReportMetric unit instead of
+// ns/op: METRIC:NUM:DEN:MIN[:MINCPU] requires METRIC(NUM) / METRIC(DEN)
+// >= MIN. This expresses work-reduction gates — e.g. the suite-dedup
+// bench reports total simulated warp-instructions per arm, and CI pins
+// the per-app arm at >= 1.3x the dedup arm's work:
+//
+//	go test -bench StudySuiteDedup -benchtime 1x . | benchjson \
+//	  -check-metric-ratio 'warp-instrs:StudySuiteDedup/perapp:StudySuiteDedup/dedup:1.3'
 package main
 
 import (
@@ -75,6 +84,7 @@ func main() {
 	tolerance := flag.Float64("tolerance", 25, "allowed ns/op regression vs baseline, percent")
 	checkRatio := flag.String("check-ratio", "", "comma-separated NUM:DEN:MIN[:MINCPU] specs requiring ns/op(NUM)/ns/op(DEN) >= MIN in this run")
 	checkMaxRatio := flag.String("check-max-ratio", "", "comma-separated NUM:DEN:MAX[:MINCPU] specs requiring ns/op(NUM)/ns/op(DEN) <= MAX in this run")
+	checkMetricRatio := flag.String("check-metric-ratio", "", "comma-separated METRIC:NUM:DEN:MIN[:MINCPU] specs requiring METRIC(NUM)/METRIC(DEN) >= MIN in this run")
 	note := flag.String("note", "", "free-form note recorded in the snapshot (machine context, caveats)")
 	flag.Parse()
 
@@ -129,6 +139,11 @@ func main() {
 	}
 	if *checkMaxRatio != "" {
 		if err := checkMaxRatios(&snap, *checkMaxRatio, runtime.NumCPU()); err != nil {
+			fatal(err)
+		}
+	}
+	if *checkMetricRatio != "" {
+		if err := checkMetricRatios(&snap, *checkMetricRatio, runtime.NumCPU()); err != nil {
 			fatal(err)
 		}
 	}
@@ -261,6 +276,79 @@ func checkRatioSpecs(snap *Snapshot, specs string, ncpu int, upper bool) error {
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("ratio gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// checkMetricRatios enforces METRIC:NUM:DEN:MIN[:MINCPU] specs against a
+// custom b.ReportMetric unit instead of ns/op: the NUM benchmark's METRIC
+// value must be at least MIN times the DEN benchmark's. This is how
+// work-reduction gates are expressed — e.g. the suite-dedup bench reports
+// total simulated warp-instructions, and CI requires the per-app arm to
+// simulate >= 1.3x more than the dedup arm:
+//
+//	warp-instrs:StudySuiteDedup/perapp:StudySuiteDedup/dedup:1.3
+//
+// Absent benchmarks or missing metrics are hard errors, same as the
+// ns/op gates.
+func checkMetricRatios(snap *Snapshot, specs string, ncpu int) error {
+	find := func(name string) *Benchmark {
+		for i := range snap.Benchmarks {
+			if snap.Benchmarks[i].Name == name {
+				return &snap.Benchmarks[i]
+			}
+		}
+		return nil
+	}
+	var failures []string
+	for _, spec := range strings.Split(specs, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		parts := strings.Split(spec, ":")
+		if len(parts) != 4 && len(parts) != 5 {
+			return fmt.Errorf("metric ratio spec %q: want METRIC:NUM:DEN:MIN[:MINCPU]", spec)
+		}
+		metric := parts[0]
+		bound, err := strconv.ParseFloat(parts[3], 64)
+		if err != nil || bound <= 0 {
+			return fmt.Errorf("metric ratio spec %q: bad bound %q", spec, parts[3])
+		}
+		if len(parts) == 5 {
+			minCPU, err := strconv.Atoi(parts[4])
+			if err != nil || minCPU < 1 {
+				return fmt.Errorf("metric ratio spec %q: bad MINCPU %q", spec, parts[4])
+			}
+			if ncpu < minCPU {
+				fmt.Fprintf(os.Stderr, "benchjson: skipping %s: %d CPUs < required %d\n", spec, ncpu, minCPU)
+				continue
+			}
+		}
+		num, den := find(parts[1]), find(parts[2])
+		if num == nil {
+			return fmt.Errorf("benchmark %q not in current run", parts[1])
+		}
+		if den == nil {
+			return fmt.Errorf("benchmark %q not in current run", parts[2])
+		}
+		nv, nok := num.Metrics[metric]
+		dv, dok := den.Metrics[metric]
+		if !nok || !dok || nv <= 0 || dv <= 0 {
+			return fmt.Errorf("metric ratio spec %q: metric %q missing or non-positive", spec, metric)
+		}
+		ratio := nv / dv
+		if ratio < bound {
+			failures = append(failures, fmt.Sprintf(
+				"%s(%s) is only %.2fx %s(%s), want >= %.2fx (%.0f vs %.0f)",
+				metric, parts[1], ratio, metric, parts[2], bound, nv, dv))
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %s ok: %s(%s) is %.2fx %s(%s) (>= %.2fx)\n",
+			spec, metric, parts[1], ratio, metric, parts[2], bound)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("metric ratio gate failed:\n  %s", strings.Join(failures, "\n  "))
 	}
 	return nil
 }

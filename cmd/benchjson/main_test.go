@@ -55,6 +55,33 @@ func TestCheckMaxRatios(t *testing.T) {
 	}
 }
 
+func TestCheckMetricRatios(t *testing.T) {
+	snap := &Snapshot{Benchmarks: []Benchmark{
+		{Name: "SuiteDedup/perapp", NsPerOp: 100, Metrics: map[string]float64{"warp-instrs": 216}},
+		{Name: "SuiteDedup/dedup", NsPerOp: 100, Metrics: map[string]float64{"warp-instrs": 72}},
+	}}
+	if err := checkMetricRatios(snap, "warp-instrs:SuiteDedup/perapp:SuiteDedup/dedup:1.3", 8); err != nil {
+		t.Errorf("3x reduction fails a 1.3x floor: %v", err)
+	}
+	err := checkMetricRatios(snap, "warp-instrs:SuiteDedup/perapp:SuiteDedup/dedup:5", 8)
+	if err == nil || !strings.Contains(err.Error(), "only 3.00x") {
+		t.Errorf("3x reduction passes a 5x floor: %v", err)
+	}
+	// MINCPU skips the spec — including one that would fail.
+	if err := checkMetricRatios(snap, "warp-instrs:SuiteDedup/perapp:SuiteDedup/dedup:5:4", 2); err != nil {
+		t.Errorf("2-CPU machine enforced a MINCPU=4 spec: %v", err)
+	}
+	if err := checkMetricRatios(snap, "mwi-s:SuiteDedup/perapp:SuiteDedup/dedup:1.3", 8); err == nil {
+		t.Error("absent metric passed silently")
+	}
+	if err := checkMetricRatios(snap, "warp-instrs:NoSuchBench:SuiteDedup/dedup:1.3", 8); err == nil {
+		t.Error("absent benchmark name passed silently")
+	}
+	if err := checkMetricRatios(snap, "warp-instrs:SuiteDedup/perapp:SuiteDedup/dedup", 8); err == nil {
+		t.Error("malformed spec accepted")
+	}
+}
+
 func TestParseBenchLine(t *testing.T) {
 	b, ok := parseBenchLine("BenchmarkServe/qps=64-8 \t 1\t246153132 ns/op\t58.03 p50-ms\t84.47 p99-ms")
 	if !ok {

@@ -20,12 +20,14 @@ import (
 
 	"pka/internal/cli"
 	"pka/internal/core"
+	"pka/internal/dedup"
 	"pka/internal/obs"
 	"pka/internal/parallel"
 	"pka/internal/pkp"
 	"pka/internal/pks"
 	"pka/internal/report"
 	"pka/internal/sampling"
+	"pka/internal/stats"
 	"pka/internal/workload"
 )
 
@@ -44,6 +46,7 @@ func main() {
 		par      = flag.Int("p", 0, "parallelism: concurrent pipeline stages (0 = GOMAXPROCS, 1 = serial)")
 		explain  = flag.Bool("explain", false, "print the per-tier execution provenance report (which ladder tier served each kernel launch) after the study")
 		flightF  = flag.String("flight", "", "write the per-kernel execution provenance (flight recorder) as NDJSON to this file")
+		suiteDed = flag.String("suite-dedup", "", "run a suite-level dedup study over this comma-separated workload list: cluster all apps in one shared PCA space, simulate one representative per cross-workload group, and report per-app errors plus the warp-instruction savings vs per-app PKS")
 		obsFl    cli.ObsFlags
 		cacheFl  cli.CacheFlags
 		remoteFl cli.RemoteFlags
@@ -73,6 +76,8 @@ func main() {
 	}
 	var w *workload.Workload
 	switch {
+	case *suiteDed != "":
+		// Suite-dedup mode resolves its own workload list below.
 	case *wfile != "":
 		var err error
 		w, err = workload.LoadJSON(*wfile)
@@ -111,12 +116,19 @@ func main() {
 		exec.SetRemote(dispatcher)
 		fmt.Fprintf(os.Stderr, "dispatching kernel tasks to %d worker(s)\n", dispatcher.Workers())
 	}
+	shard := remoteFl.ShardClient()
+	if shard != nil {
+		exec.SetShard(shard)
+	}
 	cacheStats := func() map[string]obs.CacheCounts {
 		h, m := exec.MemStats()
 		out := map[string]obs.CacheCounts{"kernel_mem": {Hits: h, Misses: m}}
 		if store != nil {
 			a := store.Stats()
 			out["artifact"] = obs.CacheCounts{Hits: a.Hits, Misses: a.Misses, Evictions: a.Evictions, Corrupt: a.Corrupt}
+		}
+		if shard != nil {
+			out["shard"] = shard.CacheCounts()
 		}
 		return out
 	}
@@ -145,6 +157,34 @@ func main() {
 		cfg.Trace = ids.NewTrace()
 		cfg.TraceIDs = ids
 		observer.Tracer.SetProcessName("pka")
+	}
+
+	if *suiteDed != "" {
+		ws, err := cli.Workloads(*suiteDed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := suiteDedupStudy(cfg, ws); err != nil {
+			fatal(err)
+		}
+		if *explain {
+			fmt.Println()
+			if err := flight.WriteReport(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		if *flightF != "" {
+			if err := writeFlight(flight, *flightF); err != nil {
+				fatal(err)
+			}
+		}
+		if err := obsFl.Finish(); err != nil {
+			fatal(err)
+		}
+		if err := cacheFl.Finish(cacheStats); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	fmt.Printf("workload   %s (%d kernels) on %s\n", w.FullName(), w.N, dev.Name)
@@ -212,18 +252,9 @@ func main() {
 		}
 	}
 	if *flightF != "" {
-		g, err := os.Create(*flightF)
-		if err != nil {
+		if err := writeFlight(flight, *flightF); err != nil {
 			fatal(err)
 		}
-		if err := flight.WriteNDJSON(g); err != nil {
-			g.Close()
-			fatal(err)
-		}
-		if err := g.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("flight recorder written to %s\n", *flightF)
 	}
 	if err := obsFl.Finish(); err != nil {
 		fatal(err)
@@ -231,6 +262,98 @@ func main() {
 	if err := cacheFl.Finish(cacheStats); err != nil {
 		fatal(err)
 	}
+}
+
+// suiteDedupStudy runs the -suite-dedup mode: one shared selection over
+// every workload in the suite, one simulation per cross-workload
+// representative, and a per-app comparison against the per-app PKS
+// pipeline — selection errors, end-to-end errors, and the total
+// warp-instruction savings the shared representatives buy.
+func suiteDedupStudy(cfg core.Config, ws []*workload.Workload) error {
+	dev := cfg.Device
+	fmt.Printf("suite      %d workloads on %s\n", len(ws), dev.Name)
+	for _, w := range ws {
+		fmt.Printf("  %-40s %8d kernels\n", w.FullName(), w.N)
+	}
+
+	opts := dedup.Options{
+		TargetErrorPct: cfg.PKS.TargetErrorPct,
+		MaxK:           cfg.PKS.MaxK,
+		Seed:           cfg.PKS.Seed,
+	}
+	if cfg.Obs != nil {
+		opts.Audit = cfg.Obs.Audit
+		opts.Metrics = cfg.Obs.DedupMetrics()
+	}
+	suite, err := dedup.Select(dev, ws, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nSuite-level dedup selection\n")
+	fmt.Printf("  pooled kernels        %d of %d launches\n", suite.PooledKernels, suite.TotalKernels)
+	fmt.Printf("  shared groups (K)     %d\n", suite.K)
+	fmt.Printf("  suite error           %.2f%% (silicon, target %.1f%%, per-app bound %.1f%%)\n",
+		suite.SuiteErrorPct, suite.TargetErrorPct, suite.PerAppErrorPct)
+	fmt.Printf("  profiling time        %s (modeled)\n", report.Seconds(suite.ProfilingSeconds))
+
+	run, err := dedup.Run(cfg, ws, suite, false)
+	if err != nil {
+		return err
+	}
+
+	// Per-app baseline: each workload's own PKS selection and sampled run,
+	// the "before" column of every number below.
+	tab := &report.Table{Columns: []string{"Workload", "Kernels", "PKS K", "PKS err%", "Dedup reps", "Dedup err%"}}
+	var perAppWork int64
+	for a, w := range ws {
+		sel, err := pks.Select(dev, w, cfg.PKSOptions())
+		if err != nil {
+			return err
+		}
+		solo, err := core.RunSampled(cfg, w, sel, false)
+		if err != nil {
+			return err
+		}
+		perAppWork += solo.SimWarpInstrs
+		sil, err := sampling.SiliconTotal(dev, w)
+		if err != nil {
+			return err
+		}
+		soloErr := stats.AbsPctErr(float64(solo.ProjCycles), float64(sil.Cycles))
+		dedupErr := stats.AbsPctErr(float64(run.Apps[a].ProjCycles), float64(sil.Cycles))
+		tab.AddRow(w.FullName(), fmt.Sprint(w.N),
+			fmt.Sprint(sel.K), fmt.Sprintf("%.2f", soloErr),
+			fmt.Sprint(suite.Apps[a].ActiveReps), fmt.Sprintf("%.2f", dedupErr))
+	}
+	fmt.Println()
+	fmt.Println(tab)
+
+	fmt.Printf("simulated warp instructions\n")
+	fmt.Printf("  per-app PKS           %d\n", perAppWork)
+	fmt.Printf("  suite dedup           %d\n", run.SimWarpInstrs)
+	if run.SimWarpInstrs > 0 {
+		fmt.Printf("  savings               %.2fx fewer (%s -> %s at the modeled rate)\n",
+			float64(perAppWork)/float64(run.SimWarpInstrs),
+			report.Hours(cfg.SimHours(perAppWork)), report.Hours(run.SimHours))
+	}
+	return nil
+}
+
+// writeFlight persists the provenance recorder as NDJSON.
+func writeFlight(flight *sampling.FlightRecorder, path string) error {
+	g, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := flight.WriteNDJSON(g); err != nil {
+		g.Close()
+		return err
+	}
+	if err := g.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("flight recorder written to %s\n", path)
+	return nil
 }
 
 func fatal(err error) {

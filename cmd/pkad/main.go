@@ -19,8 +19,10 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
+	"pka/internal/artifact"
 	"pka/internal/cli"
 	"pka/internal/obs"
 	"pka/internal/remote"
@@ -29,22 +31,24 @@ import (
 
 func main() {
 	var (
-		serve = flag.String("serve", "127.0.0.1:9377", "host:port to serve kernel-task execution on")
-		cap   = flag.Int("worker-cap", 4, "maximum tasks executing concurrently; extra requests are rejected 429 for the dispatcher to place elsewhere")
-		quiet = flag.Bool("quiet", false, "suppress the per-request access log on stderr")
-		name  = flag.String("name", "", "worker name reported in traces, health, and shipped spans (default pkad)")
+		serve    = flag.String("serve", "127.0.0.1:9377", "host:port to serve kernel-task execution on")
+		cap      = flag.Int("worker-cap", 4, "maximum tasks executing concurrently; extra requests are rejected 429 for the dispatcher to place elsewhere")
+		quiet    = flag.Bool("quiet", false, "suppress the per-request access log on stderr")
+		name     = flag.String("name", "", "worker name reported in traces, health, and shipped spans (default pkad)")
+		ring     = flag.String("ring", "", "comma-separated fleet member URLs forming the consistent-hash cache ring (peer cache sharding; include this worker)")
+		ringSelf = flag.String("ring-self", "", "this worker's own URL on the -ring (skipped on peer lookups; reported in /v1/health)")
 	)
 	var cacheFl cli.CacheFlags
 	cacheFl.Register(nil)
 	flag.Parse()
 
-	if err := run(*serve, *cap, *quiet, *name, &cacheFl); err != nil {
+	if err := run(*serve, *cap, *quiet, *name, *ring, *ringSelf, &cacheFl); err != nil {
 		fmt.Fprintln(os.Stderr, "pkad:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, capacity int, quiet bool, name string, cacheFl *cli.CacheFlags) error {
+func run(addr string, capacity int, quiet bool, name, ringCSV, ringSelf string, cacheFl *cli.CacheFlags) error {
 	store, err := cacheFl.Open()
 	if err != nil {
 		return err
@@ -61,6 +65,38 @@ func run(addr string, capacity int, quiet bool, name string, cacheFl *cli.CacheF
 	// not forward (see sampling.Exec.RunKernelTask).
 	exec := sampling.NewExec(nil, store)
 	exec.SetMetrics(observer.ExecMetrics())
+
+	// When the fleet runs with per-worker (private) cache dirs, the ring
+	// makes the fleet's caches one sharded store: this worker answers peer
+	// GET/PUTs for the key ranges it owns and reads its peers' shards
+	// before simulating. Peer lookups are pure cache reads, so the
+	// no-forwarding invariant (workers never dispatch work) holds.
+	var shard *remote.ShardClient
+	var fleetRing *artifact.Ring
+	if ringCSV != "" {
+		var members []string
+		for _, u := range strings.Split(ringCSV, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				members = append(members, u)
+			}
+		}
+		fleetRing = artifact.NewRing(members, 0, 0)
+		if fleetRing == nil {
+			return fmt.Errorf("-ring: no member URLs in %q", ringCSV)
+		}
+		shard = remote.NewShardClient(remote.ShardOptions{
+			Peers:   members,
+			Self:    ringSelf,
+			Metrics: observer.ShardMetrics(),
+			Logf:    logger.Printf,
+		})
+		if shard != nil {
+			exec.SetShard(shard)
+		}
+		logger.Printf("cache ring: %d member(s), replication %d, self %q",
+			len(fleetRing.Members()), fleetRing.Replicas(), ringSelf)
+	}
+
 	observer.RegisterCacheStats(func() map[string]obs.CacheCounts {
 		h, m := exec.MemStats()
 		out := map[string]obs.CacheCounts{"kernel_mem": {Hits: h, Misses: m}}
@@ -68,11 +104,17 @@ func run(addr string, capacity int, quiet bool, name string, cacheFl *cli.CacheF
 			a := store.Stats()
 			out["artifact"] = obs.CacheCounts{Hits: a.Hits, Misses: a.Misses, Evictions: a.Evictions, Corrupt: a.Corrupt}
 		}
+		if shard != nil {
+			out["shard"] = shard.CacheCounts()
+		}
 		return out
 	})
 	srv := remote.NewServer(exec, capacity)
 	srv.Name = name
 	srv.Obs = observer
+	if fleetRing != nil {
+		srv.SetRing(fleetRing, ringSelf)
+	}
 	if !quiet {
 		srv.Logf = logger.Printf
 	}

@@ -182,6 +182,9 @@ func main() {
 		s.SetRemote(dispatcher)
 		fmt.Fprintf(os.Stderr, "dispatching kernel tasks to %d worker(s)\n", dispatcher.Workers())
 	}
+	if sc := remoteFl.ShardClient(); sc != nil {
+		s.SetShard(sc)
+	}
 	observer.RegisterCacheStats(s.CacheStats)
 	if *suite != "" {
 		ws := workload.BySuite(*suite)

@@ -81,12 +81,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dispatching kernel tasks to %d worker(s)\n", dispatcher.Workers())
 		}
 	}
+	shard := remoteFl.ShardClient()
+	if shard != nil {
+		exec.SetShard(shard)
+	}
 	cacheStats := func() map[string]obs.CacheCounts {
 		h, m := exec.MemStats()
 		out := map[string]obs.CacheCounts{"kernel_mem": {Hits: h, Misses: m}}
 		if store != nil {
 			a := store.Stats()
 			out["artifact"] = obs.CacheCounts{Hits: a.Hits, Misses: a.Misses, Evictions: a.Evictions, Corrupt: a.Corrupt}
+		}
+		if shard != nil {
+			out["shard"] = shard.CacheCounts()
 		}
 		return out
 	}

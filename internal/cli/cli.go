@@ -280,15 +280,27 @@ func (f *CacheFlags) Finish(families func() map[string]obs.CacheCounts) error {
 // in-process worker alongside the study (handy for loopback smoke tests
 // and for donating this machine's spare capacity to a fleet sharing one
 // cache directory), and -hedge-after / -worker-cap tune the dispatcher.
-// Like the artifact cache, the remote tier only changes where cycles are
-// spent: output stays byte-identical with or without workers.
+// -shard adds the sharded fleet-cache tier on top: outcomes replicate to
+// their consistent-hash owners across the fleet and the Exec ladder asks
+// the owner shard before dispatching. Like the artifact cache, the remote
+// and shard tiers only change where cycles are spent: output stays
+// byte-identical with or without them.
 type RemoteFlags struct {
 	Workers    string        // comma-separated worker base URLs; empty disables the remote tier
 	Serve      string        // host:port to serve an in-process worker on; empty disables
 	HedgeAfter time.Duration // hedge-delay floor
 	WorkerCap  int           // per-worker in-flight bound (dispatch) and serve capacity
 
+	// Shard enables the sharded fleet-cache tier: the listed pkad URLs
+	// form a consistent-hash ring over which cached kernel outcomes are
+	// content-addressed, and the Exec ladder asks a key's owner shard
+	// before dispatching work (mem → disk → shard → workers → sim).
+	Shard         string // comma-separated ring member URLs; empty disables
+	ShardReplicas int    // ring replication factor (0 = artifact.DefaultReplicas)
+	ShardVNodes   int    // virtual nodes per member (0 = artifact.DefaultVNodes)
+
 	dispatcher *remote.Dispatcher
+	shard      *remote.ShardClient
 }
 
 // Register installs the remote flags on the flag set (the default set when
@@ -301,6 +313,9 @@ func (f *RemoteFlags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.Serve, "serve", "", "also serve kernel-task execution as a pkad worker on this host:port")
 	fs.DurationVar(&f.HedgeAfter, "hedge-after", 100*time.Millisecond, "hedge a slow worker RPC onto a second worker after max(this, observed p95 latency)")
 	fs.IntVar(&f.WorkerCap, "worker-cap", 4, "bound on concurrent tasks per worker (both dispatching and serving)")
+	fs.StringVar(&f.Shard, "shard", "", "comma-separated pkad URLs forming the consistent-hash fleet-cache ring (usually the same list as -workers)")
+	fs.IntVar(&f.ShardReplicas, "shard-replicas", 0, "fleet-cache ring replication factor (0 = default 2)")
+	fs.IntVar(&f.ShardVNodes, "shard-vnodes", 0, "virtual nodes per fleet-cache ring member (0 = default 128)")
 }
 
 // Start wires the remote tier up. When -serve is set it starts an
@@ -320,15 +335,30 @@ func (f *RemoteFlags) Start(store *artifact.Store, o *obs.Observer) (*remote.Dis
 		go http.Serve(ln, srv.Handler()) //nolint:errcheck // lives until process exit
 		fmt.Fprintf(os.Stderr, "worker serving kernel tasks on http://%s%s (capacity %d)\n", ln.Addr(), remote.ExecPath, f.WorkerCap)
 	}
+	if f.Shard != "" {
+		peers := splitURLs(f.Shard)
+		if len(peers) == 0 {
+			return nil, fmt.Errorf("-shard: no ring member URLs in %q", f.Shard)
+		}
+		f.shard = remote.NewShardClient(remote.ShardOptions{
+			Peers:    peers,
+			Replicas: f.ShardReplicas,
+			VNodes:   f.ShardVNodes,
+			Metrics:  o.ShardMetrics(),
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if f.shard != nil {
+			ring := f.shard.Ring()
+			fmt.Fprintf(os.Stderr, "fleet cache sharded over %d peer(s), replication %d\n",
+				len(ring.Members()), ring.Replicas())
+		}
+	}
 	if f.Workers == "" {
 		return nil, nil
 	}
-	var urls []string
-	for _, u := range strings.Split(f.Workers, ",") {
-		if u = strings.TrimSpace(u); u != "" {
-			urls = append(urls, u)
-		}
-	}
+	urls := splitURLs(f.Workers)
 	if len(urls) == 0 {
 		return nil, fmt.Errorf("-workers: no worker URLs in %q", f.Workers)
 	}
@@ -345,6 +375,22 @@ func (f *RemoteFlags) Start(store *artifact.Store, o *obs.Observer) (*remote.Dis
 
 // Dispatcher returns the dispatcher Start built (nil without -workers).
 func (f *RemoteFlags) Dispatcher() *remote.Dispatcher { return f.dispatcher }
+
+// ShardClient returns the fleet-cache shard client Start built (nil
+// without -shard). Wire it with Exec.SetShard, and fold its CacheCounts
+// into the -cache-stats families as "shard".
+func (f *RemoteFlags) ShardClient() *remote.ShardClient { return f.shard }
+
+// splitURLs splits a comma-separated URL list, dropping blanks.
+func splitURLs(csv string) []string {
+	var urls []string
+	for _, u := range strings.Split(csv, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
+}
 
 func writeFile(path string, render func(w io.Writer) error) error {
 	g, err := os.Create(path)

@@ -1,0 +1,47 @@
+package cluster
+
+import "math"
+
+// SweepEval scores one fitted clustering during a K sweep. It returns the
+// clustering's error metric and whether the sweep should stop here (the
+// error met its target). Implementations own whatever telemetry they want
+// to attach per step — audits, counters — which keeps this file free of
+// policy.
+type SweepEval func(k int, res *KMeansResult) (errPct float64, stop bool)
+
+// Sweep is the paper's K-selection loop, shared by per-workload PKS and
+// the suite-level dedup pass: fit K = 1..maxK over the dataset, score
+// each clustering with eval, and choose the first K whose score stops the
+// sweep — or, if none does, the lowest-scoring K tried. seedFor derives
+// the k-means++ seed per K so sweeps are reproducible.
+//
+// The Dataset's scratch buffers are reused across every fit, which is
+// why the sweep lives on Dataset rather than refitting throwaway copies.
+// Returns the chosen clustering and the per-K error trace (index 0 is
+// K=1).
+func (ds *Dataset) Sweep(maxK int, seedFor func(k int) uint64, eval SweepEval) (*KMeansResult, []float64, error) {
+	if maxK > ds.N() {
+		maxK = ds.N()
+	}
+	var (
+		sweep   []float64
+		best    *KMeansResult
+		bestErr = math.Inf(1)
+	)
+	for k := 1; k <= maxK; k++ {
+		res, err := ds.KMeans(k, KMeansOptions{Seed: seedFor(k)})
+		if err != nil {
+			return nil, nil, err
+		}
+		errPct, stop := eval(k, res)
+		sweep = append(sweep, errPct)
+		if errPct < bestErr {
+			bestErr, best = errPct, res
+		}
+		if stop {
+			best = res
+			break
+		}
+	}
+	return best, sweep, nil
+}

@@ -85,9 +85,10 @@ type Config struct {
 	Flight *sampling.FlightRecorder
 }
 
-// taskTrace returns the trace/provenance fields every kernel task in this
-// evaluation shares; phase labels the study phase ("full", "pks", "pka").
-func (c Config) taskTrace(phase string) sampling.TaskObs {
+// TaskTrace returns the trace/provenance fields every kernel task in this
+// evaluation shares; phase labels the study phase ("full", "pks", "pka",
+// "dedup-pks", "dedup-pka").
+func (c Config) TaskTrace(phase string) sampling.TaskObs {
 	to := sampling.TaskObs{Flight: c.Flight, Phase: phase}
 	to.Tracer = c.Tracer
 	if to.Tracer == nil && c.Obs != nil {
@@ -215,7 +216,7 @@ func RunSampled(cfg Config, w *workload.Workload, sel *pks.Selection, usePKP boo
 		kernels[i] = w.Kernel(g.RepIndex)
 	}
 	tobs := func(i int) sampling.TaskObs {
-		to := cfg.taskTrace(mode)
+		to := cfg.TaskTrace(mode)
 		to.Sim = simObs
 		to.Index = i
 		if usePKP {
@@ -289,7 +290,7 @@ func Evaluate(cfg Config, w *workload.Workload) (*Evaluation, error) {
 		var tobs func(i int) sampling.TaskObs
 		if cfg.Flight != nil || cfg.Trace.Valid() {
 			tobs = func(i int) sampling.TaskObs {
-				to := cfg.taskTrace("full")
+				to := cfg.TaskTrace("full")
 				to.Index = i
 				return to
 			}
@@ -315,7 +316,7 @@ func Evaluate(cfg Config, w *workload.Workload) (*Evaluation, error) {
 		ev.FullSimHours = cfg.SimHours(full.SimWarpInstrs)
 	case errors.Is(fullErr, sampling.ErrInfeasible):
 		// Projected time only; no error column (the paper's MLPerf rows).
-		ev.FullSimHours = cfg.SimHours(totalWarpWork(cfg.Device, w))
+		ev.FullSimHours = cfg.SimHours(TotalWarpWork(cfg.Device, w))
 	default:
 		return nil, fullErr
 	}
@@ -337,7 +338,7 @@ func Evaluate(cfg Config, w *workload.Workload) (*Evaluation, error) {
 	ev.PKS.ErrorPct = stats.AbsPctErr(float64(ev.PKS.ProjCycles), float64(sil.Cycles))
 	ev.PKA.ErrorPct = stats.AbsPctErr(float64(ev.PKA.ProjCycles), float64(sil.Cycles))
 
-	fullWork := totalWarpWork(cfg.Device, w)
+	fullWork := TotalWarpWork(cfg.Device, w)
 	if ev.Full != nil {
 		fullWork = ev.Full.SimWarpInstrs
 	}
@@ -350,8 +351,9 @@ func Evaluate(cfg Config, w *workload.Workload) (*Evaluation, error) {
 	return ev, nil
 }
 
-// totalWarpWork returns the workload's full dynamic warp-instruction mass
-// on the device.
-func totalWarpWork(dev gpu.Device, w *workload.Workload) int64 {
+// TotalWarpWork returns the workload's full dynamic warp-instruction mass
+// on the device — the denominator of every speedup-vs-full figure, and
+// the before/after axis of the suite-dedup bench.
+func TotalWarpWork(dev gpu.Device, w *workload.Workload) int64 {
 	return int64(float64(w.ApproxWarpInstructions(1<<62)) * dev.ISAScale)
 }

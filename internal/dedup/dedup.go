@@ -1,0 +1,611 @@
+// Package dedup implements suite-level principal kernel deduplication:
+// a cross-workload extension of Principal Kernel Selection for studies
+// that sweep an entire benchmark suite at once. Per-app PKS clusters each
+// workload in isolation, so two apps that launch near-identical kernels
+// (size variants of the same benchmark, shared library kernels, repeated
+// layers across models) each pay for their own representative. The dedup
+// pass instead pools every workload's detailed Table-2 feature vectors,
+// projects them into one shared PCA space, sweeps K over the pooled
+// population, and elects ONE simulated representative per cross-workload
+// cluster. Per-app group weights are re-derived from each app's own
+// cluster membership, so every app's projected cycles, IPC, and DRAM
+// tables remain statistically faithful while the total warp instructions
+// actually simulated drops well below the sum of per-app selections.
+//
+// Error envelope: the K sweep stops only when the suite-level projected
+// cycle error is under Options.TargetErrorPct (default 5%) AND every
+// app's own projection error over the pooled sample is under
+// Options.PerAppErrorPct (default 2× the suite target, i.e. 10%) — the
+// per-app bound is what keeps a small app from being silently absorbed
+// into a big app's clusters. The envelope holds at selection time against
+// silicon; end to end the suite tests pin it RELATIVE to the per-app
+// pipeline — the simulator's own model error is common to both, so dedup
+// may not degrade any app's projection by more than the envelope over
+// what per-app PKS already produces.
+//
+// Determinism: pooling order is app-major and chronological within each
+// app, sampling is strided, k-means seeds derive from Options.Seed, and
+// the runner folds outcomes in fixed (app, representative) order — so a
+// dedup study is byte-identical at any parallelism and any cache state,
+// exactly like the per-app pipeline.
+package dedup
+
+import (
+	"errors"
+	"fmt"
+
+	"pka/internal/classify"
+	"pka/internal/cluster"
+	"pka/internal/core"
+	"pka/internal/gpu"
+	"pka/internal/linalg"
+	"pka/internal/obs"
+	"pka/internal/pks"
+	"pka/internal/profiler"
+	"pka/internal/sampling"
+	"pka/internal/silicon"
+	"pka/internal/sim"
+	"pka/internal/stats"
+	"pka/internal/trace"
+	"pka/internal/workload"
+)
+
+// Options configures a suite-level dedup selection. The zero value
+// reproduces the per-app PKS defaults lifted to the suite.
+type Options struct {
+	// TargetErrorPct is the suite-level projected-cycle error threshold
+	// that (together with PerAppErrorPct) ends the K sweep. Zero applies 5.
+	TargetErrorPct float64
+	// PerAppErrorPct bounds every app's own projection error over the
+	// pooled sample before the sweep may stop — the envelope documented in
+	// the package comment. Zero applies 2× TargetErrorPct.
+	PerAppErrorPct float64
+	// MaxK bounds the sweep. Zero applies 20 plus 5 per additional
+	// workload: a suite needs headroom over a single app's 20, but far
+	// less than the sum of per-app Ks — that gap is the dedup win.
+	MaxK int
+	// PCAVarianceTarget is the explained-variance fraction kept (0.9).
+	PCAVarianceTarget float64
+	// DetailedBudgetSeconds bounds modeled detailed-profiling time per
+	// workload before two-level profiling engages. Zero applies the
+	// paper's one week.
+	DetailedBudgetSeconds float64
+	// MaxDetailedPerApp caps detailed-profiled kernels per workload
+	// outright (0 = budget only).
+	MaxDetailedPerApp int
+	// ClusterSampleMax subsamples the pooled set for the K sweep; the
+	// rest are nearest-center assigned afterwards. Zero applies 20000.
+	ClusterSampleMax int
+	// Seed drives k-means++ and the classifier ensemble.
+	Seed uint64
+
+	// Audit, when non-nil, receives one "sweep-step" record per K tried
+	// and a "selected" record for the chosen K, component "dedup".
+	Audit *obs.Audit
+	// Metrics, when non-nil, receives the pka_dedup_* family.
+	Metrics *obs.DedupMetrics
+}
+
+func (o Options) filled(napps int) Options {
+	if o.TargetErrorPct <= 0 {
+		o.TargetErrorPct = 5
+	}
+	if o.PerAppErrorPct <= 0 {
+		o.PerAppErrorPct = 2 * o.TargetErrorPct
+	}
+	if o.MaxK <= 0 {
+		o.MaxK = 20 + 5*(napps-1)
+	}
+	if o.PCAVarianceTarget <= 0 || o.PCAVarianceTarget > 1 {
+		o.PCAVarianceTarget = 0.9
+	}
+	if o.DetailedBudgetSeconds <= 0 {
+		o.DetailedBudgetSeconds = profiler.DefaultDetailedBudgetSeconds
+	}
+	if o.ClusterSampleMax <= 0 {
+		o.ClusterSampleMax = 20000
+	}
+	return o
+}
+
+// Rep is one cross-workload representative: a single kernel, owned by one
+// app, that stands in for its whole suite cluster — including members
+// from other apps.
+type Rep struct {
+	// App indexes the suite's workload slice; Workload is its full name.
+	App      int
+	Workload string
+	// KernelID is the representative's chronological launch index within
+	// its app; Name its kernel name; Cycles its detailed silicon cycles.
+	KernelID int
+	Name     string
+	Cycles   int64
+}
+
+// AppSelection is one workload's view of the suite selection: how its
+// kernel population distributes over the shared representatives.
+type AppSelection struct {
+	Workload string
+	// TotalKernels and DetailedKernels mirror pks.Selection; TwoLevel
+	// reports that the classifier mapped this app's tail.
+	TotalKernels    int
+	DetailedKernels int
+	TwoLevel        bool
+	// GroupCounts[r] is how many of this app's kernels cluster under
+	// suite representative r (len == len(Suite.Reps)).
+	GroupCounts []int
+	// ActiveReps counts representatives this app actually uses — its
+	// effective per-app K under the shared selection.
+	ActiveReps int
+	// SiliconTotalCycles, ProjectedCycles, and SelectionErrorPct are the
+	// per-app ground truth, Σ rep-cycles × count, and their error.
+	SiliconTotalCycles int64
+	ProjectedCycles    int64
+	SelectionErrorPct  float64
+}
+
+// Suite is the output of a suite-level dedup selection.
+type Suite struct {
+	Device         string
+	TargetErrorPct float64
+	PerAppErrorPct float64
+
+	// K is the chosen cluster count; Reps the elected representatives
+	// (one per non-empty cluster, first-chronological by (app, kernel)).
+	K    int
+	Reps []Rep
+	// Apps holds one selection view per input workload, same order.
+	Apps []AppSelection
+
+	// PooledKernels is the size of the shared clustering population;
+	// TotalKernels the suite's full launch count.
+	PooledKernels int
+	TotalKernels  int
+	// SuiteErrorPct is the suite-total projection error at selection.
+	SuiteErrorPct float64
+	// SweepErrors records the suite error at each K tried (index 0: K=1).
+	SweepErrors []float64
+	// ProfilingSeconds is the modeled cost of both profiling passes.
+	ProfilingSeconds float64
+}
+
+// pooledKernel is one detailed record tagged with its owning app.
+type pooledKernel struct {
+	app       int
+	rec       profiler.DetailedRecord
+	sharedMem int
+}
+
+// Select runs suite-level dedup selection over the workloads on the
+// device. Workload order is significant only for tie-breaking (reps are
+// first-chronological by (app, kernel)); the statistics are order-free.
+func Select(dev gpu.Device, ws []*workload.Workload, opts Options) (*Suite, error) {
+	if len(ws) == 0 {
+		return nil, errors.New("dedup: empty suite")
+	}
+	o := opts.filled(len(ws))
+	suite := &Suite{
+		Device:         dev.Name,
+		TargetErrorPct: o.TargetErrorPct,
+		PerAppErrorPct: o.PerAppErrorPct,
+		Apps:           make([]AppSelection, len(ws)),
+	}
+
+	// Pass 1: detailed-profile each app under its own budget, pooling the
+	// records app-major so pool index order is (app, kernelID) order —
+	// the property representative election relies on.
+	var pool []pooledKernel
+	for a, w := range ws {
+		app := &suite.Apps[a]
+		app.Workload = w.FullName()
+		app.TotalKernels = w.N
+		suite.TotalKernels += w.N
+		budget := o.DetailedBudgetSeconds
+		next := w.Iterator()
+		for k := next(); k != nil; k = next() {
+			rec, cost, err := profiler.Detailed(dev, k)
+			if err != nil {
+				return nil, fmt.Errorf("dedup: detailed profiling %s: %w", app.Workload, err)
+			}
+			pool = append(pool, pooledKernel{app: a, rec: rec, sharedMem: k.SharedMemPerBlock})
+			app.DetailedKernels++
+			app.SiliconTotalCycles += rec.Cycles
+			suite.ProfilingSeconds += cost
+			budget -= cost
+			if budget <= 0 || (o.MaxDetailedPerApp > 0 && app.DetailedKernels >= o.MaxDetailedPerApp) {
+				break
+			}
+		}
+		if app.DetailedKernels == 0 {
+			return nil, fmt.Errorf("dedup: workload %s has no kernels", app.Workload)
+		}
+		app.TwoLevel = app.DetailedKernels < w.N
+	}
+	suite.PooledKernels = len(pool)
+
+	// Shared PCA space over a strided sample of the pool, scaled exactly
+	// like per-app PKS so the cluster geometry is comparable.
+	sample := pks.SampleIndices(len(pool), o.ClusterSampleMax)
+	feat := linalg.NewMatrix(len(sample), trace.NumFeatures)
+	for r, idx := range sample {
+		row := feat.Row(r)
+		for j, v := range pool[idx].rec.Features {
+			row[j] = pks.ScaleFeature(v, j)
+		}
+	}
+	pca, err := linalg.FitPCA(feat, o.PCAVarianceTarget, 2)
+	if err != nil {
+		return nil, fmt.Errorf("dedup: PCA: %w", err)
+	}
+	proj, err := pca.Transform(feat)
+	if err != nil {
+		return nil, err
+	}
+	points := make([][]float64, proj.Rows)
+	for i := range points {
+		points[i] = proj.Row(i)
+	}
+
+	// Per-app and suite silicon totals over the sample — the denominators
+	// of the sweep's stop criteria.
+	var totalSample int64
+	appSample := make([]int64, len(ws))
+	for _, idx := range sample {
+		totalSample += pool[idx].rec.Cycles
+		appSample[pool[idx].app] += pool[idx].rec.Cycles
+	}
+
+	ds, err := cluster.NewDataset(points)
+	if err != nil {
+		return nil, fmt.Errorf("dedup: kmeans dataset: %w", err)
+	}
+	best, sweep, err := ds.Sweep(minInt(o.MaxK, len(points)),
+		func(k int) uint64 { return o.Seed + uint64(k) },
+		func(k int, res *cluster.KMeansResult) (float64, bool) {
+			suiteErr, maxAppErr := suiteProjectionError(res, pool, sample, totalSample, appSample)
+			if m := o.Metrics; m != nil {
+				m.SweepSteps.Inc()
+			}
+			stop := suiteErr <= o.TargetErrorPct && maxAppErr <= o.PerAppErrorPct
+			if o.Audit != nil {
+				under := 0.0
+				if stop {
+					under = 1
+				}
+				o.Audit.Record("dedup", "sweep-step", suiteSubject(ws), 0, map[string]float64{
+					"k":                 float64(k),
+					"error_pct":         suiteErr,
+					"max_app_error_pct": maxAppErr,
+					"target_error_pct":  o.TargetErrorPct,
+					"per_app_bound_pct": o.PerAppErrorPct,
+					"under_target":      under,
+					"pooled_kernels":    float64(len(points)),
+				})
+			}
+			return suiteErr, stop
+		})
+	if err != nil {
+		return nil, fmt.Errorf("dedup: kmeans sweep: %w", err)
+	}
+	suite.SweepErrors = sweep
+
+	// Elect representatives from the sampled members: first chronological
+	// by (app, kernelID) == minimal pool index, since the pool is
+	// app-major chronological.
+	clusterToRep := make(map[int]int, best.K)
+	for c := 0; c < best.K; c++ {
+		members := best.Members(c)
+		if len(members) == 0 {
+			continue
+		}
+		repIdx := sample[members[0]]
+		for _, m := range members[1:] {
+			if sample[m] < repIdx {
+				repIdx = sample[m]
+			}
+		}
+		pk := pool[repIdx]
+		clusterToRep[c] = len(suite.Reps)
+		suite.Reps = append(suite.Reps, Rep{
+			App:      pk.app,
+			Workload: suite.Apps[pk.app].Workload,
+			KernelID: pk.rec.KernelID,
+			Name:     pk.rec.Name,
+			Cycles:   pk.rec.Cycles,
+		})
+	}
+	if len(suite.Reps) == 0 {
+		return nil, errors.New("dedup: clustering produced no representatives")
+	}
+	suite.K = len(suite.Reps)
+
+	// Assign every pooled kernel (sampled or not) to a representative and
+	// accumulate each app's group counts.
+	repOf := make([]int, len(pool))
+	samplePos := make(map[int]int, len(sample))
+	for pos, idx := range sample {
+		samplePos[idx] = pos
+	}
+	for i := range pool {
+		var c int
+		if pos, ok := samplePos[i]; ok {
+			c = best.Assignment[pos]
+		} else {
+			row := make([]float64, trace.NumFeatures)
+			for j, v := range pool[i].rec.Features {
+				row[j] = pks.ScaleFeature(v, j)
+			}
+			p, err := pca.TransformRow(row)
+			if err != nil {
+				return nil, err
+			}
+			c = best.NearestCenter(p)
+		}
+		r, ok := clusterToRep[c]
+		if !ok {
+			r = 0 // nearest-center landed on a sample-empty cluster
+		}
+		repOf[i] = r
+	}
+	for a := range suite.Apps {
+		suite.Apps[a].GroupCounts = make([]int, suite.K)
+	}
+	for i, pk := range pool {
+		suite.Apps[pk.app].GroupCounts[repOf[i]]++
+	}
+
+	// Pass 2 (two-level apps only): one suite-wide ensemble, trained on
+	// pooled launch features with representative labels, maps every
+	// lightly-profiled tail kernel onto a shared group.
+	if err := mapLightTails(dev, ws, suite, pool, repOf, o); err != nil {
+		return nil, err
+	}
+
+	// Per-app and suite accounting.
+	var suiteProjected, suiteSilicon int64
+	for a := range suite.Apps {
+		app := &suite.Apps[a]
+		for r, n := range app.GroupCounts {
+			if n == 0 {
+				continue
+			}
+			app.ActiveReps++
+			app.ProjectedCycles += suite.Reps[r].Cycles * int64(n)
+		}
+		app.SelectionErrorPct = stats.AbsPctErr(float64(app.ProjectedCycles), float64(app.SiliconTotalCycles))
+		suiteProjected += app.ProjectedCycles
+		suiteSilicon += app.SiliconTotalCycles
+	}
+	suite.SuiteErrorPct = stats.AbsPctErr(float64(suiteProjected), float64(suiteSilicon))
+
+	if m := o.Metrics; m != nil {
+		m.Selections.Inc()
+		m.KernelsPooled.Add(int64(suite.PooledKernels))
+		m.Reps.Add(int64(suite.K))
+		m.ChosenK.Observe(float64(suite.K))
+		m.SuiteErrorPct.Observe(suite.SuiteErrorPct)
+	}
+	if o.Audit != nil {
+		o.Audit.Record("dedup", "selected", suiteSubject(ws), 0, map[string]float64{
+			"k":                 float64(suite.K),
+			"apps":              float64(len(ws)),
+			"pooled_kernels":    float64(suite.PooledKernels),
+			"total_kernels":     float64(suite.TotalKernels),
+			"suite_error_pct":   suite.SuiteErrorPct,
+			"target_error_pct":  o.TargetErrorPct,
+			"per_app_bound_pct": o.PerAppErrorPct,
+			"profiling_seconds": suite.ProfilingSeconds,
+		})
+	}
+	return suite, nil
+}
+
+// suiteProjectionError scores one clustering: the suite-total projected
+// cycle error and the worst single-app error, both over the sample.
+func suiteProjectionError(res *cluster.KMeansResult, pool []pooledKernel, sample []int, totalSample int64, appSample []int64) (suiteErr, maxAppErr float64) {
+	appProj := make([]int64, len(appSample))
+	var projected int64
+	for c := 0; c < res.K; c++ {
+		members := res.Members(c)
+		if len(members) == 0 {
+			continue
+		}
+		repIdx := sample[members[0]]
+		for _, m := range members[1:] {
+			if sample[m] < repIdx {
+				repIdx = sample[m]
+			}
+		}
+		repCycles := pool[repIdx].rec.Cycles
+		for _, m := range members {
+			projected += repCycles
+			appProj[pool[sample[m]].app] += repCycles
+		}
+	}
+	suiteErr = stats.AbsPctErr(float64(projected), float64(totalSample))
+	for a, total := range appSample {
+		if total == 0 {
+			continue
+		}
+		if e := stats.AbsPctErr(float64(appProj[a]), float64(total)); e > maxAppErr {
+			maxAppErr = e
+		}
+	}
+	return suiteErr, maxAppErr
+}
+
+// mapLightTails is the suite's second profiling pass: for every app whose
+// detailed prefix stopped short of its launch count, light-profile the
+// tail and classify each kernel onto a shared representative. One
+// ensemble serves the whole suite — it is trained on the pooled detailed
+// launch features, so an app's tail kernel can legitimately map onto a
+// representative owned by a different app.
+func mapLightTails(dev gpu.Device, ws []*workload.Workload, suite *Suite, pool []pooledKernel, repOf []int, o Options) error {
+	anyTail := false
+	for a := range suite.Apps {
+		if suite.Apps[a].TwoLevel {
+			anyTail = true
+			break
+		}
+	}
+	if !anyTail {
+		return nil
+	}
+	var ens *classify.Ensemble
+	if suite.K > 1 {
+		const classifierTrainMax = 20000
+		trainIdx := pks.SampleIndices(len(pool), classifierTrainMax)
+		X := make([][]float64, len(trainIdx))
+		labels := make([]int, len(trainIdx))
+		for i, idx := range trainIdx {
+			X[i] = profiler.FeaturesOfDetailed(pool[idx].rec, pool[idx].sharedMem)
+			labels[i] = repOf[idx]
+		}
+		ens = classify.NewEnsemble(o.Seed)
+		if err := ens.Fit(X, labels, suite.K); err != nil {
+			return fmt.Errorf("dedup: classifier training: %w", err)
+		}
+	}
+	for a, w := range ws {
+		app := &suite.Apps[a]
+		if !app.TwoLevel {
+			continue
+		}
+		for i := app.DetailedKernels; i < w.N; i++ {
+			k := w.Kernel(i)
+			rec, cost, err := profiler.Light(dev, &k)
+			if err != nil {
+				return fmt.Errorf("dedup: light profiling %s kernel %d: %w", app.Workload, i, err)
+			}
+			suite.ProfilingSeconds += cost
+			g := 0
+			if ens != nil {
+				g = ens.Predict(profiler.FeaturesOfLight(rec))
+			}
+			app.GroupCounts[g]++
+			app.SiliconTotalCycles += rec.Cycles
+		}
+	}
+	return nil
+}
+
+// RunResult is the outcome of simulating a dedup suite: per-app sampled
+// projections plus the suite's unique simulated work — the number whose
+// ratio against the per-app total is the dedup speedup.
+type RunResult struct {
+	// Apps holds one projection per input workload, same order. Per-app
+	// SimWarpInstrs/SimHours are zero by construction: representatives
+	// are shared, so simulated work is only attributable suite-wide.
+	Apps []core.SampledSim
+	// SimWarpInstrs is the total warp instructions actually simulated —
+	// each shared representative counted exactly once.
+	SimWarpInstrs int64
+	// SimHours is the projected simulation wall time at the modeled rate.
+	SimHours float64
+	// Capped reports that some representative hit the runaway guard.
+	Capped bool
+}
+
+// Run simulates each suite representative exactly once (with PKP when
+// usePKP is set) and projects every app's metrics from its own group
+// counts. Outcomes resolve through cfg.Exec's tier ladder and fold in
+// fixed (app, representative) order, so the result is byte-identical at
+// any parallelism and cache state.
+func Run(cfg core.Config, ws []*workload.Workload, suite *Suite, usePKP bool) (RunResult, error) {
+	var out RunResult
+	if suite == nil || len(suite.Reps) == 0 {
+		return out, errors.New("dedup: empty suite selection")
+	}
+	if len(ws) != len(suite.Apps) {
+		return out, fmt.Errorf("dedup: suite has %d apps, got %d workloads", len(suite.Apps), len(ws))
+	}
+	dev := cfg.Device
+	capCycles := cfg.KernelCapCycles
+	if capCycles <= 0 {
+		capCycles = sim.DefaultMaxCycles
+	}
+	mode := "dedup-pks"
+	if usePKP {
+		mode = "dedup-pka"
+	}
+	span := cfg.Obs.StartSpan("sampled:"+mode, suiteSubject(ws))
+	defer span.End()
+	var simObs *obs.SimObs
+	if cfg.Obs != nil {
+		simObs = cfg.Obs.SimObs("sim:" + mode)
+	}
+
+	task := sampling.KernelTask{Mode: sampling.ModePKS, MaxCycles: capCycles}
+	if usePKP {
+		task = sampling.KernelTask{Mode: sampling.ModePKA, MaxCycles: capCycles, PKP: sampling.NewPKPSpec(cfg.PKP)}
+	}
+	kernels := make([]trace.KernelDesc, len(suite.Reps))
+	for i, rep := range suite.Reps {
+		kernels[i] = ws[rep.App].Kernel(rep.KernelID)
+	}
+	tobs := func(i int) sampling.TaskObs {
+		to := cfg.TaskTrace(mode)
+		to.Sim = simObs
+		to.Index = i
+		if usePKP {
+			po := cfg.PKPOptions(suite.Reps[i].Workload + "/" + kernels[i].Name)
+			to.Audit, to.AuditSubject, to.PKPMetrics = po.Audit, po.AuditSubject, po.Metrics
+		}
+		return to
+	}
+	outs, err := cfg.Exec.RunKernels(dev, task, kernels, tobs)
+	if err != nil {
+		return out, fmt.Errorf("dedup: suite representatives: %w", err)
+	}
+
+	out.Apps = make([]core.SampledSim, len(ws))
+	for _, oc := range outs {
+		out.SimWarpInstrs += oc.SimWarpInstrs
+		if oc.Capped {
+			out.Capped = true
+		}
+	}
+	for a := range ws {
+		app := &out.Apps[a]
+		var kernelCycles int64
+		var threadInstrs, dramWeighted float64
+		for r, oc := range outs {
+			weight := int64(suite.Apps[a].GroupCounts[r])
+			if weight == 0 {
+				continue
+			}
+			if oc.Capped {
+				app.Capped = true
+			}
+			kernelCycles += oc.ProjCycles * weight
+			threadInstrs += oc.ThreadInstrs * float64(weight)
+			dramWeighted += oc.DRAMUtil * float64(oc.ProjCycles*weight)
+		}
+		app.ProjCycles = kernelCycles + int64(suite.Apps[a].TotalKernels)*silicon.KernelLaunchOverheadCycles
+		if kernelCycles > 0 {
+			app.IPC = threadInstrs / float64(kernelCycles)
+			app.DRAMUtil = dramWeighted / float64(kernelCycles)
+		}
+	}
+	out.SimHours = cfg.SimHours(out.SimWarpInstrs)
+	return out, nil
+}
+
+// suiteSubject labels audit records and spans for a suite.
+func suiteSubject(ws []*workload.Workload) string {
+	if len(ws) == 0 {
+		return "suite"
+	}
+	s := ws[0].FullName()
+	for _, w := range ws[1:] {
+		s += "," + w.FullName()
+	}
+	return s
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -55,6 +55,7 @@ type Study struct {
 	ex       *sampling.Exec
 	store    *artifact.Store
 	remote   sampling.RemoteTier
+	shard    sampling.ShardTier
 
 	selections parallel.Cache[string, *pks.Selection]
 	crossGen   parallel.Cache[string, pks.CrossGenResult]
@@ -122,17 +123,30 @@ func (s *Study) SetRemote(r sampling.RemoteTier) {
 	s.remote = r
 }
 
+// SetShard installs the sharded fleet-cache tier between the disk cache
+// and the remote workers in the study's executor ladder. Like SetRemote,
+// call it before the first simulation; peer cache reads never change
+// results, only where the bytes come from. A nil tier is a no-op.
+func (s *Study) SetShard(t sampling.ShardTier) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shard = t
+}
+
 // Exec returns the study's shared kernel-task executor, building it on
 // first call: kernel simulations from every generator land on one bounded
 // scheduler (longest task first) and share one outcome cache.
 func (s *Study) Exec() *sampling.Exec {
 	s.execOnce.Do(func() {
 		s.mu.Lock()
-		st, r := s.store, s.remote
+		st, r, sh := s.store, s.remote, s.shard
 		s.mu.Unlock()
 		s.ex = sampling.NewExec(parallel.NewScheduler(s.Cfg.Parallelism), st)
 		if r != nil {
 			s.ex.SetRemote(r)
+		}
+		if sh != nil {
+			s.ex.SetShard(sh)
 		}
 	})
 	return s.ex
@@ -161,6 +175,12 @@ func (s *Study) CacheStats() map[string]obs.CacheCounts {
 	if st := ex.Store(); st != nil {
 		a := st.Stats()
 		out["artifact"] = obs.CacheCounts{Hits: a.Hits, Misses: a.Misses, Evictions: a.Evictions, Corrupt: a.Corrupt}
+	}
+	s.mu.Lock()
+	sh := s.shard
+	s.mu.Unlock()
+	if c, ok := sh.(interface{ CacheCounts() obs.CacheCounts }); ok {
+		out["shard"] = c.CacheCounts()
 	}
 	return out
 }

@@ -33,6 +33,8 @@ type Observer struct {
 	remote *RemoteMetrics
 	serve  *ServeMetrics
 	exec   *ExecMetrics
+	shard  *ShardMetrics
+	dedup  *DedupMetrics
 
 	cacheMu    sync.Mutex
 	cacheSrcs  []func() map[string]CacheCounts
@@ -55,6 +57,8 @@ func NewObserverAt(now func() time.Time) *Observer {
 	o.RemoteMetrics()
 	o.ServeMetrics()
 	o.ExecMetrics()
+	o.ShardMetrics()
+	o.DedupMetrics()
 	// Span loss at the tracer's memory cap lands in the exposition instead
 	// of vanishing silently.
 	o.Tracer.SetDropCounter(o.Metrics.Counter(
@@ -352,17 +356,17 @@ func (o *Observer) ServeMetrics() *ServeMetrics {
 
 // ExecTierNames names the Exec ladder's serving tiers in ladder order;
 // index i is the tier with numeric value i in internal/sampling.
-var ExecTierNames = [4]string{"mem", "disk", "worker", "sim"}
+var ExecTierNames = [5]string{"mem", "disk", "shard", "worker", "sim"}
 
 // ExecMetrics is the Exec ladder's tier-attribution family: for each of
-// the four serving tiers (mem singleflight, disk artifact store, remote
-// worker, fresh simulation), how many kernel tasks it satisfied and the
-// service-latency distribution. The registry has no label support, so
-// each tier is its own counter/histogram pair; summed across tiers the
-// counters equal the study's kernel-launch count.
+// the five serving tiers (mem singleflight, disk artifact store, owner-
+// shard peer, remote worker, fresh simulation), how many kernel tasks it
+// satisfied and the service-latency distribution. The registry has no
+// label support, so each tier is its own counter/histogram pair; summed
+// across tiers the counters equal the study's kernel-launch count.
 type ExecMetrics struct {
-	Tasks   [4]*Counter
-	Latency [4]*Histogram
+	Tasks   [5]*Counter
+	Latency [5]*Histogram
 }
 
 // ExecMetrics lazily builds (and then reuses) the Exec-ladder bundle.
@@ -385,7 +389,7 @@ func (o *Observer) ExecMetrics() *ExecMetrics {
 	return o.exec
 }
 
-// Observe records one kernel task served by tier (0..3) in sec seconds.
+// Observe records one kernel task served by tier (0..4) in sec seconds.
 // Nil-safe; out-of-range tiers are ignored.
 func (m *ExecMetrics) Observe(tier int, sec float64) {
 	if m == nil || tier < 0 || tier >= len(m.Tasks) {
@@ -393,6 +397,78 @@ func (m *ExecMetrics) Observe(tier int, sec float64) {
 	}
 	m.Tasks[tier].Inc()
 	m.Latency[tier].Observe(sec)
+}
+
+// ShardMetrics is the sharded fleet cache's metric family: peer-lookup
+// traffic against the consistent-hash ring (hits, misses, transport
+// errors), replication writes, and — the health signal the fleet operator
+// watches — ring rebalances after a peer is evicted for repeated
+// failures. All fields are nil-safe instruments.
+type ShardMetrics struct {
+	Lookups       *Counter
+	PeerHits      *Counter
+	PeerMisses    *Counter
+	PeerErrors    *Counter
+	Puts          *Counter
+	PutErrors     *Counter
+	Rebalances    *Counter
+	LookupLatency *Histogram
+}
+
+// ShardMetrics lazily builds (and then reuses) the sharded-cache bundle.
+func (o *Observer) ShardMetrics() *ShardMetrics {
+	if o == nil || o.Metrics == nil {
+		return nil
+	}
+	if o.shard == nil {
+		r := o.Metrics
+		o.shard = &ShardMetrics{
+			Lookups:    r.Counter("pka_shard_lookups_total", "content keys looked up against the shard ring"),
+			PeerHits:   r.Counter("pka_shard_peer_hits_total", "lookups served by an owner or replica shard"),
+			PeerMisses: r.Counter("pka_shard_peer_misses_total", "lookups no owner shard held"),
+			PeerErrors: r.Counter("pka_shard_peer_errors_total", "peer GETs that failed in transport"),
+			Puts:       r.Counter("pka_shard_puts_total", "outcome replications written to owner shards"),
+			PutErrors:  r.Counter("pka_shard_put_errors_total", "peer PUTs that failed in transport"),
+			Rebalances: r.Counter("pka_shard_rebalance_total", "ring rebalances after evicting an unreachable shard"),
+			LookupLatency: r.Histogram("pka_shard_lookup_latency_seconds", "peer-lookup round-trip latency",
+				[]float64{0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 2.5}),
+		}
+	}
+	return o.shard
+}
+
+// DedupMetrics is the suite-level dedup pass's metric family: how many
+// kernels were pooled across the suite, the K-sweep's work, and the
+// resulting representative count — the number whose ratio to the pooled
+// per-app representative count is the suite's dedup win.
+type DedupMetrics struct {
+	Selections    *Counter
+	KernelsPooled *Counter
+	SweepSteps    *Counter
+	Reps          *Counter
+	ChosenK       *Histogram
+	SuiteErrorPct *Histogram
+}
+
+// DedupMetrics lazily builds (and then reuses) the suite-dedup bundle.
+func (o *Observer) DedupMetrics() *DedupMetrics {
+	if o == nil || o.Metrics == nil {
+		return nil
+	}
+	if o.dedup == nil {
+		r := o.Metrics
+		o.dedup = &DedupMetrics{
+			Selections:    r.Counter("pka_dedup_selections_total", "suite-level dedup selections performed"),
+			KernelsPooled: r.Counter("pka_dedup_kernels_pooled_total", "kernels pooled into the shared PCA space"),
+			SweepSteps:    r.Counter("pka_dedup_sweep_steps_total", "suite K-sweep clustering steps evaluated"),
+			Reps:          r.Counter("pka_dedup_reps_total", "cross-workload representatives elected"),
+			ChosenK: r.Histogram("pka_dedup_chosen_k", "K chosen by the suite sweep",
+				[]float64{2, 4, 8, 16, 32, 64, 128}),
+			SuiteErrorPct: r.Histogram("pka_dedup_suite_error_pct", "suite-level projected-cycle error at selection",
+				[]float64{0.5, 1, 2, 5, 10, 20, 50}),
+		}
+	}
+	return o.dedup
 }
 
 // RemoteWorkerStats is one worker's dispatcher-side state, published

@@ -253,12 +253,12 @@ func Select(dev gpu.Device, w *workload.Workload, opts Options) (*Selection, err
 // returns the chosen groups, a per-detailed-kernel group assignment, and
 // the per-K sweep error trace.
 func clusterDetailed(detailed []profiler.DetailedRecord, o Options) ([]Group, []int, []float64, error) {
-	sample := sampleIndices(len(detailed), o.ClusterSampleMax)
+	sample := SampleIndices(len(detailed), o.ClusterSampleMax)
 	feat := linalg.NewMatrix(len(sample), trace.NumFeatures)
 	for r, idx := range sample {
 		row := feat.Row(r)
 		for j, v := range detailed[idx].Features {
-			row[j] = logScale(v, j)
+			row[j] = ScaleFeature(v, j)
 		}
 	}
 
@@ -294,9 +294,6 @@ func clusterDetailed(detailed []profiler.DetailedRecord, o Options) ([]Group, []
 	}
 
 	rng := stats.NewRNG(o.Seed ^ 0xBEE5)
-	var sweep []float64
-	var best *cluster.KMeansResult
-	bestErr := math.Inf(1)
 	maxK := minInt(o.MaxK, len(points))
 	// One Dataset for the whole K-sweep: every fit after the first reuses
 	// the flattened points and the Lloyd scratch buffers.
@@ -304,37 +301,31 @@ func clusterDetailed(detailed []profiler.DetailedRecord, o Options) ([]Group, []
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("pks: kmeans dataset: %w", err)
 	}
-	for k := 1; k <= maxK; k++ {
-		res, err := ds.KMeans(k, cluster.KMeansOptions{Seed: o.Seed + uint64(k)})
-		if err != nil {
-			return nil, nil, nil, fmt.Errorf("pks: kmeans K=%d: %w", k, err)
-		}
-		errPct := projectionError(points, res, detailed, sample, totalSample, o, rng)
-		sweep = append(sweep, errPct)
-		if m := o.Metrics; m != nil {
-			m.SweepSteps.Inc()
-		}
-		underTarget := errPct <= o.TargetErrorPct
-		if o.Audit != nil {
-			under := 0.0
-			if underTarget {
-				under = 1
+	best, sweep, err := ds.Sweep(maxK,
+		func(k int) uint64 { return o.Seed + uint64(k) },
+		func(k int, res *cluster.KMeansResult) (float64, bool) {
+			errPct := projectionError(points, res, detailed, sample, totalSample, o, rng)
+			if m := o.Metrics; m != nil {
+				m.SweepSteps.Inc()
 			}
-			o.Audit.Record("pks", "sweep-step", o.auditSubject, 0, map[string]float64{
-				"k":                float64(k),
-				"error_pct":        errPct,
-				"target_error_pct": o.TargetErrorPct,
-				"under_target":     under,
-				"sampled_kernels":  float64(len(points)),
-			})
-		}
-		if errPct < bestErr {
-			bestErr, best = errPct, res
-		}
-		if underTarget {
-			best = res
-			break
-		}
+			underTarget := errPct <= o.TargetErrorPct
+			if o.Audit != nil {
+				under := 0.0
+				if underTarget {
+					under = 1
+				}
+				o.Audit.Record("pks", "sweep-step", o.auditSubject, 0, map[string]float64{
+					"k":                float64(k),
+					"error_pct":        errPct,
+					"target_error_pct": o.TargetErrorPct,
+					"under_target":     under,
+					"sampled_kernels":  float64(len(points)),
+				})
+			}
+			return errPct, underTarget
+		})
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("pks: kmeans sweep: %w", err)
 	}
 
 	// Assign every detailed kernel (sampled or not) to a cluster.
@@ -353,7 +344,7 @@ func clusterDetailed(detailed []profiler.DetailedRecord, o Options) ([]Group, []
 			}
 			row := make([]float64, trace.NumFeatures)
 			for j, v := range detailed[i].Features {
-				row[j] = logScale(v, j)
+				row[j] = ScaleFeature(v, j)
 			}
 			p := row
 			if pca != nil {
@@ -455,7 +446,7 @@ func mapLightKernels(dev gpu.Device, w *workload.Workload, sel *Selection, detai
 	// prefixes are massively redundant (the same layer kernels repeat
 	// thousands of times), so cap the training set by strided sampling.
 	const classifierTrainMax = 20000
-	trainIdx := sampleIndices(len(detailed), classifierTrainMax)
+	trainIdx := SampleIndices(len(detailed), classifierTrainMax)
 	X := make([][]float64, len(trainIdx))
 	labels := make([]int, len(trainIdx))
 	for i, idx := range trainIdx {
@@ -560,8 +551,10 @@ func ProjectOnDevice(dev gpu.Device, w *workload.Workload, sel *Selection) (Cros
 	return out, nil
 }
 
-// sampleIndices returns up to max indices evenly strided across n items.
-func sampleIndices(n, max int) []int {
+// SampleIndices returns up to max indices evenly strided across n items.
+// Exported for the suite-level dedup pass, which subsamples its pooled
+// feature set the same way the per-workload sweep does.
+func SampleIndices(n, max int) []int {
 	if n <= max {
 		out := make([]int, n)
 		for i := range out {
@@ -577,9 +570,12 @@ func sampleIndices(n, max int) []int {
 	return out
 }
 
-// logScale compresses count-type features; ratio-type features (index 10,
-// divergence efficiency) pass through.
-func logScale(v float64, featureIdx int) float64 {
+// ScaleFeature compresses count-type Table-2 features with log1p;
+// ratio-type features (index 10, divergence efficiency) pass through.
+// Exported so the suite-level dedup pass clusters in exactly the feature
+// space PKS clusters in — the cross-workload clusters are only
+// comparable to per-app ones because the scaling is shared.
+func ScaleFeature(v float64, featureIdx int) float64 {
 	if featureIdx == 10 {
 		return v
 	}

@@ -13,6 +13,14 @@
 // persist outcomes in the same content-addressed artifact store the client
 // uses (same SHA-256 keys, same 33-byte payload), so a fleet pointed at a
 // shared directory warms one cache.
+//
+// When workers have private disks instead, the sharded fleet cache makes
+// them behave like one: a consistent-hash ring (artifact.Ring) assigns
+// every content key a small owner set among the workers, clients and
+// workers replicate outcomes to the owners over CachePathPrefix, and the
+// ShardClient answers "who owns this key" locally and peer-GETs owners
+// (primary first, then replicas) before the Exec ladder falls back to
+// dispatching or simulating.
 package remote
 
 import (
@@ -37,6 +45,13 @@ const (
 	// MetricsPath serves the worker's Prometheus exposition (GET) when the
 	// daemon runs with an observer.
 	MetricsPath = "/metrics"
+	// CachePathPrefix serves the sharded fleet cache's peer traffic. GET
+	// /v1/cache/<key> returns the raw artifact payload stored under the
+	// content key (404 on miss); PUT stores the request body under it.
+	// Both are pure cache operations — a peer GET can never trigger
+	// execution on the serving worker, which is what makes the shard tier
+	// loop-free by construction.
+	CachePathPrefix = "/v1/cache/"
 	// TraceparentHeader carries the W3C-style trace context on exec
 	// requests; absent or malformed means "not traced".
 	TraceparentHeader = "traceparent"
@@ -44,6 +59,10 @@ const (
 	// device config is a few hundred bytes; anything near the limit is
 	// garbage, not a bigger kernel.
 	MaxRequestBytes = 1 << 20
+	// MaxCachePayloadBytes bounds a peer cache PUT body. Kernel outcomes
+	// are 33 bytes; the slack leaves room for payload growth without a
+	// protocol change.
+	MaxCachePayloadBytes = 1 << 12
 )
 
 // ExecRequest asks a worker to execute one kernel task. Key is the
@@ -80,8 +99,22 @@ type Health struct {
 	BusyRejects uint64        `json:"busy_rejects"`
 	Failed      uint64        `json:"failed"`
 	Cache       CacheHealth   `json:"cache"`
+	Ring        *RingHealth   `json:"ring,omitempty"`
 	Process     string        `json:"process,omitempty"`
 	Build       obs.BuildInfo `json:"build"`
+}
+
+// RingHealth is the worker's view of its shard-ring membership: how much
+// of the key space it primarily owns, which peers replicate that range,
+// and how much peer cache traffic it has served. Present only when the
+// daemon runs with -ring.
+type RingHealth struct {
+	Members       int      `json:"members"`
+	Replicas      int      `json:"replicas"`
+	OwnedFraction float64  `json:"owned_fraction"`
+	ReplicaPeers  []string `json:"replica_peers"`
+	PeerGets      uint64   `json:"peer_gets"`
+	PeerPuts      uint64   `json:"peer_puts"`
 }
 
 // CacheHealth is the worker-local artifact store's counters (zero when the

@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 
+	"pka/internal/artifact"
 	"pka/internal/obs"
 	"pka/internal/sampling"
 )
@@ -36,6 +38,14 @@ type Server struct {
 	busy   atomic.Uint64
 	failed atomic.Uint64
 
+	// Shard-ring membership (nil/"" when the daemon runs unsharded): the
+	// ring this worker believes it is part of, its own member name on it,
+	// and the peer cache traffic it has served.
+	ring     *artifact.Ring
+	ringSelf string
+	peerGets atomic.Uint64
+	peerPuts atomic.Uint64
+
 	ids *obs.IDGen
 
 	spanMu      sync.Mutex
@@ -61,6 +71,17 @@ func NewServer(exec *sampling.Exec, capacity int) *Server {
 	return &Server{exec: exec, cap: capacity, sem: make(chan struct{}, capacity), ids: obs.NewIDGen(0)}
 }
 
+// SetRing declares this worker a member of a shard ring under the given
+// member name; /v1/health then reports its owned key-range fraction and
+// replica peers. The ring only describes membership — the worker answers
+// peer GET/PUT for any valid key regardless, because consistent hashing
+// is advisory placement, not an ACL, and a client mid-rebalance may ask
+// a former owner.
+func (s *Server) SetRing(ring *artifact.Ring, self string) {
+	s.ring = ring
+	s.ringSelf = self
+}
+
 // SetIDGen replaces the span-ID generator — tests install a seeded one
 // for deterministic IDs.
 func (s *Server) SetIDGen(g *obs.IDGen) {
@@ -80,6 +101,7 @@ func (s *Server) name() string {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(ExecPath, s.handleExec)
+	mux.HandleFunc(CachePathPrefix, s.handleCache)
 	mux.HandleFunc(HealthPath, s.handleHealth)
 	mux.HandleFunc(SpansPath, s.handleSpans)
 	mux.HandleFunc(MetricsPath, s.handleMetrics)
@@ -183,6 +205,48 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleCache serves the sharded fleet cache's peer traffic straight from
+// the worker's artifact store: GET returns the payload under a content
+// key, PUT stores one. No execution ever happens here — peers exchanging
+// cache entries cannot create work for each other, only save it.
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	store := s.exec.Store()
+	if store == nil {
+		http.Error(w, "worker has no artifact store", http.StatusNotFound)
+		return
+	}
+	key := strings.TrimPrefix(r.URL.Path, CachePathPrefix)
+	if key == "" || strings.ContainsRune(key, '/') {
+		http.Error(w, "bad cache key", http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		s.peerGets.Add(1)
+		raw, ok := store.Get(key)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(raw)
+	case http.MethodPut, http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, MaxCachePayloadBytes+1))
+		if err != nil || len(body) == 0 || len(body) > MaxCachePayloadBytes {
+			http.Error(w, "unreadable, empty, or oversized payload", http.StatusBadRequest)
+			return
+		}
+		if err := store.Put(key, body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.peerPuts.Add(1)
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "GET or PUT only", http.StatusMethodNotAllowed)
+	}
+}
+
 // parkSpans buffers spans whose response did not reach the client.
 func (s *Server) parkSpans(events []obs.EventRecord, dropped int64) {
 	s.spanMu.Lock()
@@ -239,6 +303,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if st := s.exec.Store(); st != nil {
 		cs := st.Stats()
 		h.Cache = CacheHealth{Hits: cs.Hits, Misses: cs.Misses, Writes: cs.Writes, Entries: cs.Entries}
+	}
+	if s.ring != nil {
+		h.Ring = &RingHealth{
+			Members:       len(s.ring.Members()),
+			Replicas:      s.ring.Replicas(),
+			OwnedFraction: s.ring.OwnedFraction(s.ringSelf),
+			ReplicaPeers:  s.ring.ReplicaPeersOf(s.ringSelf),
+			PeerGets:      s.peerGets.Load(),
+			PeerPuts:      s.peerPuts.Load(),
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(h)

@@ -1,0 +1,268 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pka/internal/artifact"
+	"pka/internal/obs"
+)
+
+// Shard-client defaults.
+const (
+	// DefaultShardTimeout bounds one peer cache RPC. Peer GETs move 33
+	// bytes; anything slow is a peer worth evicting, not waiting for.
+	DefaultShardTimeout = 2 * time.Second
+	// DefaultShardEvictAfter is how many consecutive transport failures a
+	// peer gets before it is evicted from the ring (a rebalance).
+	DefaultShardEvictAfter = 3
+)
+
+// ShardOptions configures a ShardClient.
+type ShardOptions struct {
+	// Peers are the fleet's worker base URLs — the ring members. Order
+	// does not matter; placement is a pure function of the set.
+	Peers []string
+	// Self, when non-empty, names this process's own URL on the ring. The
+	// client skips Self on lookups and stores (its payloads already live
+	// in the local artifact store, which the Exec ladder checks first).
+	Self string
+	// Replicas and VNodes parameterize the ring (defaults
+	// artifact.DefaultReplicas / artifact.DefaultVNodes).
+	Replicas int
+	VNodes   int
+	// Timeout bounds one peer RPC (default DefaultShardTimeout).
+	Timeout time.Duration
+	// EvictAfter is the consecutive-failure eviction threshold (default
+	// DefaultShardEvictAfter).
+	EvictAfter int
+	// Metrics receives shard-tier telemetry (optional, nil-safe).
+	Metrics *obs.ShardMetrics
+	// Logf, when set, receives rebalance log lines.
+	Logf func(format string, args ...any)
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+}
+
+// ShardClient implements sampling.ShardTier over the pkad fleet: it
+// builds the same consistent-hash ring every ring-aware worker builds,
+// answers "who owns this key" locally, and does peer GET/PUT against the
+// owner set. Failure handling is availability-first: a peer that keeps
+// failing transport is evicted and the ring rebalanced (counted in
+// pka_shard_rebalance_total), after which its key range resolves to the
+// surviving replicas — the property the kill-one-worker smoke pins.
+// Lookup misses and peer failures are never errors; the Exec ladder just
+// falls through to the next tier.
+type ShardClient struct {
+	opts   ShardOptions
+	client *http.Client
+
+	mu    sync.Mutex
+	ring  *artifact.Ring
+	fails map[string]int
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewShardClient builds a shard client over the given fleet. Returns nil
+// when no peers remain after dropping Self, matching the nil-safe
+// ShardTier wiring in sampling.Exec.
+func NewShardClient(opts ShardOptions) *ShardClient {
+	ring := artifact.NewRing(opts.Peers, opts.VNodes, opts.Replicas)
+	if ring == nil {
+		return nil
+	}
+	if m := ring.Members(); len(m) == 1 && m[0] == opts.Self {
+		// A ring of only ourselves has nobody to ask.
+		return nil
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultShardTimeout
+	}
+	if opts.EvictAfter <= 0 {
+		opts.EvictAfter = DefaultShardEvictAfter
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = &obs.ShardMetrics{} // nil-safe instruments
+	}
+	c := opts.Client
+	if c == nil {
+		c = &http.Client{}
+	}
+	return &ShardClient{opts: opts, client: c, ring: ring, fails: map[string]int{}}
+}
+
+// Ring returns the client's current ring (post-evictions).
+func (c *ShardClient) Ring() *artifact.Ring {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring
+}
+
+// CacheCounts publishes the peer-lookup hit/miss counters in the shape
+// RegisterCacheStats wants, so the shard tier lands beside the mem and
+// artifact families as pka_cache_shard_* instead of silently reading
+// zero while peers serve traffic.
+func (c *ShardClient) CacheCounts() obs.CacheCounts {
+	if c == nil {
+		return obs.CacheCounts{}
+	}
+	return obs.CacheCounts{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// owners snapshots the current owner list for key, excluding Self.
+func (c *ShardClient) owners(key string) []string {
+	c.mu.Lock()
+	ring := c.ring
+	c.mu.Unlock()
+	owners := ring.Owners(key)
+	if c.opts.Self == "" {
+		return owners
+	}
+	out := owners[:0]
+	for _, o := range owners {
+		if o != c.opts.Self {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// noteOK resets a peer's consecutive-failure count after any successful
+// round trip (a 404 miss is a healthy answer).
+func (c *ShardClient) noteOK(peer string) {
+	c.mu.Lock()
+	delete(c.fails, peer)
+	c.mu.Unlock()
+}
+
+// noteFailure counts a transport failure against peer and evicts it from
+// the ring at the threshold — the rebalance the fleet operator sees in
+// the log and in pka_shard_rebalance_total.
+func (c *ShardClient) noteFailure(peer string) {
+	c.mu.Lock()
+	c.fails[peer]++
+	evict := c.fails[peer] >= c.opts.EvictAfter
+	var members int
+	if evict {
+		delete(c.fails, peer)
+		c.ring = c.ring.Without(peer)
+		members = len(c.ring.Members())
+	}
+	c.mu.Unlock()
+	if evict {
+		c.opts.Metrics.Rebalances.Inc()
+		if c.opts.Logf != nil {
+			c.opts.Logf("shard %s evicted after %d consecutive failures; ring rebalanced to %d members",
+				peer, c.opts.EvictAfter, members)
+		}
+	}
+}
+
+// Lookup implements sampling.ShardTier: ask key's owners for the cached
+// payload, primary first, then replicas. Peers answering 404 are healthy
+// misses; peers failing transport are counted toward eviction and the
+// next replica is tried — which is exactly the fallback that keeps a
+// study byte-identical when an owner dies mid-run.
+func (c *ShardClient) Lookup(key string) (payload []byte, peer string, ok bool) {
+	if c == nil {
+		return nil, "", false
+	}
+	m := c.opts.Metrics
+	m.Lookups.Inc()
+	start := time.Now()
+	for _, owner := range c.owners(key) {
+		raw, status, err := c.get(owner, key)
+		if err != nil {
+			m.PeerErrors.Inc()
+			c.noteFailure(owner)
+			continue
+		}
+		c.noteOK(owner)
+		if status == http.StatusOK && len(raw) > 0 {
+			c.hits.Add(1)
+			m.PeerHits.Inc()
+			m.LookupLatency.Observe(time.Since(start).Seconds())
+			return raw, owner, true
+		}
+		// 404 (or any non-200): the owner doesn't hold the key; a replica
+		// might after a partial replication, so keep walking the owner set.
+	}
+	c.misses.Add(1)
+	m.PeerMisses.Inc()
+	m.LookupLatency.Observe(time.Since(start).Seconds())
+	return nil, "", false
+}
+
+// Store implements sampling.ShardTier: best-effort replication of the
+// payload to every owner of key. Idempotent (owners may already hold the
+// bytes) and never an error — a failed PUT only costs a future peer hit.
+func (c *ShardClient) Store(key string, payload []byte) {
+	if c == nil || len(payload) == 0 {
+		return
+	}
+	m := c.opts.Metrics
+	for _, owner := range c.owners(key) {
+		if err := c.put(owner, key, payload); err != nil {
+			m.PutErrors.Inc()
+			c.noteFailure(owner)
+			continue
+		}
+		c.noteOK(owner)
+		m.Puts.Inc()
+	}
+}
+
+func (c *ShardClient) get(peer, key string) ([]byte, int, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+CachePathPrefix+key, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Drain so the connection is reusable; a non-200 is an answer, not
+		// a transport failure.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, MaxCachePayloadBytes))
+		return nil, resp.StatusCode, nil
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, MaxCachePayloadBytes+1))
+	if err != nil || len(raw) > MaxCachePayloadBytes {
+		return nil, 0, errTruncated
+	}
+	return raw, resp.StatusCode, nil
+}
+
+func (c *ShardClient) put(peer, key string, payload []byte) error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, peer+CachePathPrefix+key, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, MaxCachePayloadBytes))
+	resp.Body.Close()
+	return nil
+}
+
+// errTruncated marks a peer response that exceeded the payload bound.
+var errTruncated = &truncatedError{}
+
+type truncatedError struct{}
+
+func (*truncatedError) Error() string { return "remote: peer cache payload truncated or oversized" }

@@ -1,0 +1,253 @@
+package remote_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pka/internal/artifact"
+	"pka/internal/gpu"
+	"pka/internal/obs"
+	"pka/internal/remote"
+	"pka/internal/sampling"
+	"pka/internal/workload"
+)
+
+// testKey returns a valid (lowercase-hex) content key derived from s.
+func testKey(s string) string {
+	return artifact.Key([]byte(s))
+}
+
+// shardFleet builds n ring workers over private stores plus a client
+// spanning them.
+func shardFleet(t *testing.T, n int, opts remote.ShardOptions) ([]*httptest.Server, []*artifact.Store, *remote.ShardClient) {
+	t.Helper()
+	servers := make([]*httptest.Server, n)
+	stores := make([]*artifact.Store, n)
+	urls := make([]string, n)
+	for i := range servers {
+		servers[i], stores[i] = worker(t, t.TempDir(), nil)
+		urls[i] = servers[i].URL
+	}
+	opts.Peers = urls
+	c := remote.NewShardClient(opts)
+	if c == nil {
+		t.Fatal("NewShardClient returned nil for a populated fleet")
+	}
+	return servers, stores, c
+}
+
+// Store must replicate to every owner, Lookup must read back from one,
+// and the hit must name a true owner of the key.
+func TestShardStoreLookup(t *testing.T) {
+	_, stores, c := shardFleet(t, 3, remote.ShardOptions{})
+	payload := sampling.EncodeOutcome(sampling.KernelOutcome{ProjCycles: 42, SimWarpInstrs: 7})
+	key := testKey("task-1")
+	c.Store(key, payload)
+
+	owners := c.Ring().Owners(key)
+	if len(owners) != 2 {
+		t.Fatalf("want 2 owners at default replication, got %v", owners)
+	}
+	got, peer, ok := c.Lookup(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Lookup = (%x, %v), want stored payload", got, ok)
+	}
+	if peer != owners[0] {
+		t.Errorf("hit served by %s, want primary owner %s", peer, owners[0])
+	}
+	// The payload landed on the owners' stores and nowhere else.
+	replicated := 0
+	for _, st := range stores {
+		if raw, ok := st.Get(key); ok {
+			replicated++
+			if !bytes.Equal(raw, payload) {
+				t.Error("owner store holds different bytes")
+			}
+		}
+	}
+	if replicated != 2 {
+		t.Errorf("payload on %d stores, want 2 (the owner set)", replicated)
+	}
+
+	if _, _, ok := c.Lookup(testKey("never-stored")); ok {
+		t.Error("Lookup of an unstored key reported a hit")
+	}
+	cc := c.CacheCounts()
+	if cc.Hits != 1 || cc.Misses != 1 {
+		t.Errorf("CacheCounts = %+v, want 1 hit / 1 miss", cc)
+	}
+}
+
+// Killing a key's primary owner must not lose the key: the lookup walks
+// to the surviving replica. This is the replica-fallback property the CI
+// kill-one-worker smoke depends on.
+func TestShardReplicaFallback(t *testing.T) {
+	servers, _, c := shardFleet(t, 3, remote.ShardOptions{})
+	payload := sampling.EncodeOutcome(sampling.KernelOutcome{ProjCycles: 99})
+	key := testKey("task-fallback")
+	c.Store(key, payload)
+	owners := c.Ring().Owners(key)
+
+	for _, s := range servers {
+		if s.URL == owners[0] {
+			s.Close()
+		}
+	}
+	got, peer, ok := c.Lookup(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("lookup after killing primary: ok=%v", ok)
+	}
+	if peer != owners[1] {
+		t.Errorf("served by %s, want surviving replica %s", peer, owners[1])
+	}
+}
+
+// A peer that keeps failing transport is evicted: the ring rebalances
+// (counted and logged) and later placements stop routing to it.
+func TestShardEvictionRebalance(t *testing.T) {
+	o := obs.NewObserver()
+	var logbuf strings.Builder
+	servers, _, c := shardFleet(t, 3, remote.ShardOptions{
+		EvictAfter: 2,
+		Metrics:    o.ShardMetrics(),
+		Logf:       func(f string, a ...any) { fmt.Fprintf(&logbuf, f+"\n", a...) },
+	})
+	dead := servers[0].URL
+	servers[0].Close()
+
+	// Hammer lookups until every key route touching the dead peer has
+	// failed it out. 16 distinct keys guarantee ≥2 route through it.
+	for i := 0; i < 16; i++ {
+		c.Lookup(testKey(fmt.Sprintf("evict-%d", i)))
+	}
+	members := c.Ring().Members()
+	if len(members) != 2 {
+		t.Fatalf("ring still has %v, want the dead peer evicted", members)
+	}
+	for _, m := range members {
+		if m == dead {
+			t.Fatal("dead peer survived eviction")
+		}
+	}
+	if got := o.ShardMetrics().Rebalances.Value(); got != 1 {
+		t.Errorf("pka_shard_rebalance_total = %v, want 1", got)
+	}
+	if !strings.Contains(logbuf.String(), "ring rebalanced to 2 members") {
+		t.Errorf("no rebalance log line, got %q", logbuf.String())
+	}
+}
+
+// The worker's health report must expose ring membership: owned
+// fraction, replica peers, and peer traffic counters.
+func TestShardRingHealth(t *testing.T) {
+	st, err := artifact.Open(t.TempDir(), artifact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := remote.NewServer(sampling.NewExec(nil, st), 2)
+	members := []string{"http://a:9377", "http://b:9377", "http://c:9377"}
+	srv.SetRing(artifact.NewRing(members, 0, 0), members[0])
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	key := testKey("health-roundtrip")
+	payload := sampling.EncodeOutcome(sampling.KernelOutcome{ProjCycles: 5})
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+remote.CachePathPrefix+key, bytes.NewReader(payload))
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("peer PUT: %v %v", resp, err)
+	}
+	if resp, err := http.Get(ts.URL + remote.CachePathPrefix + key); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("peer GET: %v %v", resp, err)
+	}
+
+	var h remote.Health
+	resp, err := http.Get(ts.URL + remote.HealthPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	r := h.Ring
+	if r == nil {
+		t.Fatal("health has no ring block")
+	}
+	if r.Members != 3 || r.Replicas != 2 {
+		t.Errorf("ring block = %+v, want 3 members / 2 replicas", r)
+	}
+	if r.OwnedFraction < 0.2 || r.OwnedFraction > 0.5 {
+		t.Errorf("owned fraction %.3f implausible for a 3-member ring", r.OwnedFraction)
+	}
+	if len(r.ReplicaPeers) != 2 {
+		t.Errorf("replica peers = %v, want both other members", r.ReplicaPeers)
+	}
+	if r.PeerGets != 1 || r.PeerPuts != 1 {
+		t.Errorf("peer traffic = %d gets / %d puts, want 1/1", r.PeerGets, r.PeerPuts)
+	}
+}
+
+// The Exec ladder with a shard tier: a second process's exec over an
+// empty local store must be served from the fleet (TierShard, with the
+// serving peer recorded in provenance), not by re-simulating.
+func TestShardExecTier(t *testing.T) {
+	_, _, c := shardFleet(t, 3, remote.ShardOptions{})
+	dev := gpu.VoltaV100()
+	w := workload.Find("Rodinia/gauss_mat4")
+	if w == nil {
+		t.Fatal("missing workload")
+	}
+	kernels := w.Kernels()
+	task := sampling.KernelTask{Mode: sampling.ModeFull}
+
+	localStore := func() *artifact.Store {
+		st, err := artifact.Open(t.TempDir(), artifact.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		return st
+	}
+
+	// First process: simulate and replicate to the fleet.
+	exec1 := sampling.NewExec(nil, localStore())
+	exec1.SetShard(c)
+	want, err := exec1.RunKernels(dev, task, kernels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Second process: private empty store, same fleet.
+	exec2 := sampling.NewExec(nil, localStore())
+	exec2.SetShard(c)
+	fr := sampling.NewFlightRecorder()
+	got, err := exec2.RunKernels(dev, task, kernels, func(i int) sampling.TaskObs {
+		return sampling.TaskObs{Flight: fr, Phase: "shard", Index: i}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("kernel %d: shard-served outcome differs: %+v vs %+v", i, want[i], got[i])
+		}
+	}
+	counts := fr.TierCounts()
+	if counts["shard"] == 0 {
+		t.Fatalf("no kernels served from the shard tier: %v", counts)
+	}
+	if counts["sim"] != 0 || counts["worker"] != 0 {
+		t.Fatalf("fleet-cached kernels were re-executed: %v", counts)
+	}
+	for _, e := range fr.Entries() {
+		if e.Tier == sampling.TierShard && e.Worker == "" {
+			t.Error("shard-served entry missing the serving peer")
+		}
+	}
+}

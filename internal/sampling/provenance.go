@@ -1,7 +1,8 @@
 // Per-kernel execution provenance: the study "flight recorder". Every
 // kernel task the Exec ladder resolves gets one ProvEntry — which tier
-// served it (mem singleflight, disk artifact store, remote worker, fresh
-// sim), which worker, how long it queued and how long service took, and
+// served it (mem singleflight, disk artifact store, owner-shard peer,
+// remote worker, fresh sim), which peer, how long it queued and how long
+// service took, and
 // any hedge/retry/breaker events along the way. Entries fold
 // deterministically in launch order regardless of execution
 // interleaving, so the recorder is a faithful account of *where* each
@@ -26,10 +27,11 @@ import (
 // values index obs.ExecMetrics and match obs.ExecTierNames.
 type Tier uint8
 
-// The four serving tiers, in ladder order.
+// The five serving tiers, in ladder order.
 const (
 	TierMem    Tier = iota // in-memory singleflight (or waited on another caller's compute)
 	TierDisk               // content-addressed artifact store
+	TierShard              // owner-shard peer in the sharded fleet cache
 	TierWorker             // remote pkad worker
 	TierSim                // fresh local simulation
 )
@@ -80,8 +82,9 @@ type ProvEntry struct {
 	Key string `json:"key"`
 	// Tier is the ladder level that produced the outcome.
 	Tier Tier `json:"tier"`
-	// Worker identifies the remote worker that served the task (TierWorker
-	// only).
+	// Worker identifies the remote peer that served the task: the pkad
+	// worker that executed it (TierWorker) or the shard that held its
+	// cached outcome (TierShard).
 	Worker string `json:"worker,omitempty"`
 	// WaitNs is time from scheduler submission to execution start;
 	// ServiceNs is execution time in the ladder.

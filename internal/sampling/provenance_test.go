@@ -61,6 +61,7 @@ func TestFlightReportGolden(t *testing.T) {
 		"execution provenance: 2 kernel launches",
 		"  tier mem         0 launches  wait           0s  service           0s",
 		"  tier disk        0 launches  wait           0s  service           0s",
+		"  tier shard       0 launches  wait           0s  service           0s",
 		"  tier worker      1 launches  wait           0s  service          3ms",
 		"  tier sim         1 launches  wait          1ms  service          2ms",
 		"  worker http://w1 served 1",

@@ -256,16 +256,36 @@ type RemoteTier interface {
 	ExecTask(key string, dev gpu.Device, k *trace.KernelDesc, task KernelTask, cost int64, ro *RemoteObs) (KernelOutcome, bool)
 }
 
+// ShardTier is the fleet's sharded outcome cache: a consistent-hash ring
+// over the pkad workers where each content key has a small owner set
+// holding its cached payload. It sits between the local disk cache and
+// the remote worker tier in the Exec ladder — a peer GET is far cheaper
+// than re-simulating, and cheaper than a worker dispatch too, because it
+// never executes anything. Implementations must be safe for concurrent
+// use and must never surface transport failures: ok=false means "no
+// reachable owner holds the key", whatever the reason.
+type ShardTier interface {
+	// Lookup fetches the payload cached under key from the key's owner
+	// shard, falling back through its replicas. peer names the shard that
+	// served a hit (for provenance).
+	Lookup(key string) (payload []byte, peer string, ok bool)
+	// Store replicates payload to key's owner shards, best-effort. Purity
+	// of outcomes makes replication idempotent: owners may be written the
+	// same bytes by any number of processes in any order.
+	Store(key string, payload []byte)
+}
+
 // Exec bundles the execution resources one study run shares across all of
 // its kernel tasks: the global scheduler, the persistent artifact store,
-// an in-memory singleflight outcome cache layered above it, and an
-// optional remote worker tier between the disk cache and local simulation.
-// A nil *Exec is valid and degrades every entry point to the serial,
-// uncached behaviour — one fresh simulator per kernel on the calling
-// goroutine.
+// an in-memory singleflight outcome cache layered above it, and optional
+// sharded-fleet-cache and remote worker tiers between the disk cache and
+// local simulation. A nil *Exec is valid and degrades every entry point
+// to the serial, uncached behaviour — one fresh simulator per kernel on
+// the calling goroutine.
 type Exec struct {
 	sched  *parallel.Scheduler
 	store  *artifact.Store
+	shard  ShardTier
 	remote RemoteTier
 	mem    parallel.Cache[string, KernelOutcome]
 	execM  *obs.ExecMetrics
@@ -284,6 +304,16 @@ func NewExec(sched *parallel.Scheduler, store *artifact.Store) *Exec {
 func (e *Exec) SetRemote(r RemoteTier) {
 	if e != nil {
 		e.remote = r
+	}
+}
+
+// SetShard installs (or, with nil, removes) the sharded fleet-cache tier.
+// Like the remote tier, it can only move where bytes come from, never
+// what they are: payloads are validated by DecodeOutcome and anything
+// unexpected falls through the ladder as a miss.
+func (e *Exec) SetShard(s ShardTier) {
+	if e != nil {
+		e.shard = s
 	}
 }
 
@@ -348,7 +378,8 @@ func (e *Exec) RunKernels(dev gpu.Device, task KernelTask, kernels []trace.Kerne
 }
 
 // runKernel computes one outcome through the cache layers: in-memory
-// singleflight → artifact store → remote workers → fresh simulator.
+// singleflight → artifact store → owner-shard peer → remote workers →
+// fresh simulator.
 func (e *Exec) runKernel(dev gpu.Device, k trace.KernelDesc, task KernelTask, to TaskObs) (KernelOutcome, error) {
 	if e == nil {
 		return simulateKernel(dev, k, task, to)
@@ -366,7 +397,7 @@ func (e *Exec) RunKernelTask(dev gpu.Device, k *trace.KernelDesc, task KernelTas
 
 // RunKernelTaskObs is RunKernelTask with observe-only wiring — the worker
 // daemon passes a flight recorder so its response can say which tier
-// (disk or sim, on the worker) actually produced the outcome.
+// (disk, shard peer, or sim, on the worker) actually produced the outcome.
 func (e *Exec) RunKernelTaskObs(dev gpu.Device, k *trace.KernelDesc, task KernelTask, to TaskObs) (KernelOutcome, error) {
 	if e == nil {
 		return simulateKernel(dev, *k, task, to)
@@ -390,6 +421,7 @@ func (e *Exec) run(dev gpu.Device, k trace.KernelDesc, task KernelTask, to TaskO
 	// per-tier counts always sum to the launch count either way.
 	tier := TierMem
 	var ro *RemoteObs
+	var shardPeer string
 	oc, err := e.mem.Do(key, func() (KernelOutcome, error) {
 		if raw, ok := e.store.Get(key); ok {
 			if oc, err := DecodeOutcome(raw); err == nil {
@@ -399,13 +431,32 @@ func (e *Exec) run(dev gpu.Device, k trace.KernelDesc, task KernelTask, to TaskO
 			// Undecodable payload under a valid checksum means schema
 			// drift without a version bump; recompute and overwrite.
 		}
+		if e.shard != nil {
+			// Owner-shard peer lookup: pure cache reads, so workers use it
+			// too (a peer GET can never trigger further dispatch, unlike
+			// the remote tier below).
+			if raw, peer, ok := e.shard.Lookup(key); ok {
+				if oc, err := DecodeOutcome(raw); err == nil {
+					tier = TierShard
+					shardPeer = peer
+					_ = e.store.Put(key, raw) // warm the local disk tier too
+					return oc, nil
+				}
+				// A peer served bytes the current schema can't decode:
+				// treat as a miss and recompute.
+			}
+		}
 		if allowRemote && e.remote != nil {
 			if to.Tracer != nil || observed {
 				ro = &RemoteObs{Trace: to.Trace, Tracer: to.Tracer, IDs: to.IDs}
 			}
 			if oc, ok := e.remote.ExecTask(key, dev, &k, task, k.TotalWarpInstructions(dev), ro); ok {
 				tier = TierWorker
-				_ = e.store.Put(key, EncodeOutcome(oc)) // warm the local disk tier too
+				raw := EncodeOutcome(oc)
+				_ = e.store.Put(key, raw) // warm the local disk tier too
+				if e.shard != nil {
+					e.shard.Store(key, raw) // land the outcome on its owner shards
+				}
 				return oc, nil
 			}
 			// Pool empty, degraded, or the task failed everywhere it was
@@ -416,7 +467,11 @@ func (e *Exec) run(dev gpu.Device, k trace.KernelDesc, task KernelTask, to TaskO
 		if err != nil {
 			return KernelOutcome{}, err
 		}
-		_ = e.store.Put(key, EncodeOutcome(oc)) // best-effort persistence
+		raw := EncodeOutcome(oc)
+		_ = e.store.Put(key, raw) // best-effort persistence
+		if e.shard != nil {
+			e.shard.Store(key, raw)
+		}
 		return oc, nil
 	})
 	if err != nil {
@@ -444,6 +499,9 @@ func (e *Exec) run(dev gpu.Device, k trace.KernelDesc, task KernelTask, to TaskO
 				entry.Hedges = ro.Hedges
 				entry.Retries = ro.Retries
 				entry.BreakerSkips = ro.BreakerSkips
+			}
+			if tier == TierShard {
+				entry.Worker = shardPeer
 			}
 			to.Flight.Record(entry)
 		}
