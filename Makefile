@@ -35,7 +35,7 @@ race:
 bench:
 	@{ $(GO) test -run NONE -bench 'SimTick' -benchmem ./internal/sim ; \
 	   $(GO) test -run NONE -bench 'SimulatorThroughput|RollingDetector|KMeansSweep|SiliconModel|WorkloadGeneration' -benchmem . ; \
-	   $(GO) test -run NONE -bench 'StudyParallel|StudyKernelSched|StudyCache|StudyRemote|StudySuiteDedup|Serve' -benchtime=1x . ; } \
+	   $(GO) test -run NONE -bench 'StudyParallel|StudyKernelSched|StudyCache|StudyRemote|StudySuiteDedup|StudyStream|Serve' -benchtime=1x . ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_study.json -baseline BENCH_study.json \
 	    -note "recorded on the 1-CPU reference box: parallel and remote sub-benches (StudyParallel/p=4, StudyRemote/workers=2) are slower than their serial arms there because fan-out only adds overhead without cores to spread across; their speedup gates apply on >= 4 CPUs"
 	@echo wrote BENCH_study.json
@@ -60,6 +60,10 @@ bench-all:
 # pins the suite-dedup saving itself: per-app PKS must simulate at least
 # 1.3x more warp-instructions than the shared cross-workload selection on
 # the gauss suite — the headline reduction internal/dedup exists for.
+# The fifth stage gates the streaming overlap: at >= 4 CPUs the streaming
+# pipeline must finish at least 1.3x faster than the phase-sequential run
+# of the same study (skipped below 4 CPUs, where there are no spare cores
+# to overlap speculative simulation onto).
 bench-check:
 	@{ $(GO) test -run NONE -bench 'SimulatorThroughput' -benchtime=5x . ; \
 	   $(GO) test -run NONE -bench 'KMeansSweep' -benchtime=5x . ; } \
@@ -74,5 +78,8 @@ bench-check:
 	@$(GO) test -run NONE -bench 'StudySuiteDedup' -benchtime=1x . \
 	| $(GO) run ./cmd/benchjson -o /dev/null \
 	    -check-metric-ratio 'warp-instrs:StudySuiteDedup/perapp:StudySuiteDedup/dedup:1.3'
+	@$(GO) test -run NONE -bench 'StudyStream/(sequential|streaming)' -benchtime=1x . \
+	| $(GO) run ./cmd/benchjson -o /dev/null \
+	    -check-ratio 'StudyStream/sequential:StudyStream/streaming:1.3:4'
 
 ci: vet build test race bench-check

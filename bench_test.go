@@ -628,6 +628,72 @@ func serveBenchTemplates() []serve.StudyRequest {
 	return reqs
 }
 
+// BenchmarkStudyStream measures what streaming PKS buys: the same
+// workload evaluated phase-sequentially (Principal Kernel Selection runs
+// to completion, then the evaluation phases fan out at p=4) and through
+// the streaming pipeline (profiling, advisory clustering, and speculative
+// simulation overlap event arrival at the same parallelism). Both arms
+// compute byte-identical evaluations on fresh unmemoized Execs; the
+// difference is pure phase overlap, so the speedup sub-bench (gated by
+// benchjson -check-ratio at >= 4 CPUs) records how much reconciliation
+// work the speculative warms moved under the profiling phase.
+func BenchmarkStudyStream(b *testing.B) {
+	w := workload.Find("Rodinia/gauss_208")
+	if w == nil {
+		b.Fatal("missing workload Rodinia/gauss_208")
+	}
+	cfgFor := func() core.Config {
+		return core.Config{
+			Device:      gpu.VoltaV100(),
+			Parallelism: 4,
+			Exec:        sampling.NewExec(parallel.NewScheduler(4), nil),
+		}
+	}
+	sequential := func() time.Duration {
+		c := cfgFor()
+		t0 := time.Now()
+		sel, err := pks.Select(c.Device, w, c.PKSOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.EvaluateWithSelection(c, w, sel); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	streaming := func() time.Duration {
+		c := cfgFor()
+		t0 := time.Now()
+		if _, err := core.RunStream(c, w, core.StreamOptions{SpecWorkers: 3}); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	b.Run("sequential", func(b *testing.B) {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+		for i := 0; i < b.N; i++ {
+			sequential()
+		}
+	})
+	b.Run("streaming", func(b *testing.B) {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+		for i := 0; i < b.N; i++ {
+			streaming()
+		}
+	})
+	b.Run("speedup", func(b *testing.B) {
+		if runtime.NumCPU() < 4 {
+			b.Skip("overlap needs >= 4 CPUs; without cores to run the warms on, streaming only adds bookkeeping")
+		}
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+		for i := 0; i < b.N; i++ {
+			serial := sequential()
+			par := streaming()
+			b.ReportMetric(serial.Seconds()/par.Seconds(), "x")
+		}
+	})
+}
+
 // BenchmarkServe measures the serving tier against the batch path it
 // wraps. `direct` is the reference: the same request set run serially
 // through serve.Run on a fresh Exec. `served` pushes the set through a

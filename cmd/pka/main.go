@@ -10,11 +10,20 @@
 //	pka -w Polybench/fdtd2d -target 2 -s 0.1
 //	pka -w MLPerf/ssd_training -device turing -selection-only
 //	pka -w Rodinia/gauss_208 -trace t.json -metrics m.prom -audit a.ndjson
+//	pka -w Rodinia/gauss_208 -emit-events ev.ndjson   # record an event stream
+//	pka -stream ev.ndjson                             # replay it, streaming
+//
+// -stream runs the streaming pipeline: kernel launch events are read as
+// NDJSON (one per line, '-' = stdin), profiling and advisory clustering
+// run as events arrive, and likely representatives are simulated
+// speculatively before the stream ends. The printed study is byte-identical
+// to the batch run on the same workload.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -47,6 +56,8 @@ func main() {
 		explain  = flag.Bool("explain", false, "print the per-tier execution provenance report (which ladder tier served each kernel launch) after the study")
 		flightF  = flag.String("flight", "", "write the per-kernel execution provenance (flight recorder) as NDJSON to this file")
 		suiteDed = flag.String("suite-dedup", "", "run a suite-level dedup study over this comma-separated workload list: cluster all apps in one shared PCA space, simulate one representative per cross-workload group, and report per-app errors plus the warp-instruction savings vs per-app PKS")
+		stream   = flag.String("stream", "", "read NDJSON kernel launch events from this file ('-' = stdin) and run the streaming pipeline; output matches the batch run byte for byte")
+		emitEv   = flag.String("emit-events", "", "with -w or -workload-file: write the workload as an NDJSON kernel-event stream to this file ('-' = stdout) and exit")
 		obsFl    cli.ObsFlags
 		cacheFl  cli.CacheFlags
 		remoteFl cli.RemoteFlags
@@ -55,6 +66,19 @@ func main() {
 	cacheFl.Register(nil)
 	remoteFl.Register(nil)
 	flag.Parse()
+
+	// -stream brings its own workload (the event header names it) and is a
+	// single-app pipeline, so the batch workload selectors and the
+	// multi-app dedup study are incoherent alongside it.
+	if err := cli.FlagConflicts(nil,
+		[2]string{"stream", "suite-dedup"},
+		[2]string{"stream", "w"},
+		[2]string{"stream", "workload-file"},
+		[2]string{"stream", "emit-events"},
+		[2]string{"stream", "selection-only"},
+	); err != nil {
+		fatal(err)
+	}
 
 	if *list {
 		bysuite := map[string][]string{}
@@ -78,6 +102,8 @@ func main() {
 	switch {
 	case *suiteDed != "":
 		// Suite-dedup mode resolves its own workload list below.
+	case *stream != "":
+		// Streaming mode learns its workload from the event header below.
 	case *wfile != "":
 		var err error
 		w, err = workload.LoadJSON(*wfile)
@@ -93,6 +119,16 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *emitEv != "" {
+		if w == nil {
+			fatal(fmt.Errorf("-emit-events needs -w or -workload-file"))
+		}
+		if err := emitEventStream(w, *emitEv); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	dev, err := cli.Device(*device)
@@ -159,6 +195,30 @@ func main() {
 		observer.Tracer.SetProcessName("pka")
 	}
 
+	if *stream != "" {
+		if err := streamStudy(cfg, *stream, *target, *jsonOut); err != nil {
+			fatal(err)
+		}
+		if *explain {
+			fmt.Println()
+			if err := flight.WriteReport(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		if *flightF != "" {
+			if err := writeFlight(flight, *flightF); err != nil {
+				fatal(err)
+			}
+		}
+		if err := obsFl.Finish(); err != nil {
+			fatal(err)
+		}
+		if err := cacheFl.Finish(cacheStats); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if *suiteDed != "" {
 		ws, err := cli.Workloads(*suiteDed)
 		if err != nil {
@@ -198,26 +258,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("\nPrincipal Kernel Selection\n")
-	fmt.Printf("  groups (K)            %d\n", sel.K)
-	fmt.Printf("  two-level profiling   %v (%d of %d kernels detailed)\n", sel.TwoLevel, sel.DetailedKernels, sel.TotalKernels)
-	if sel.TwoLevel {
-		fmt.Printf("  classifier accuracy   %.3f\n", sel.ClassifierAccuracy)
-	}
-	fmt.Printf("  profiling time        %s (modeled)\n", report.Seconds(sel.ProfilingSeconds))
-	fmt.Printf("  selection error       %.2f%% (silicon, target %.1f%%)\n", sel.SelectionErrorPct, *target)
-	fmt.Printf("  silicon speedup       %.1fx\n", sel.SiliconSpeedup)
-	tab := &report.Table{Columns: []string{"Group", "Rep kernel ID", "Rep name", "Population"}}
-	for gi, g := range sel.Groups {
-		tab.AddRow(fmt.Sprint(gi), fmt.Sprint(g.RepIndex), g.Representative.Name, fmt.Sprint(g.Count()))
-	}
-	fmt.Println()
-	fmt.Println(tab)
-	if *jsonOut != "" {
-		if err := sel.SaveJSON(*jsonOut); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("selection written to %s\n\n", *jsonOut)
+	if err := printSelection(sel, *target, *jsonOut); err != nil {
+		fatal(err)
 	}
 	if *selOnly {
 		if err := obsFl.Finish(); err != nil {
@@ -233,18 +275,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("simulation (modeled Accel-Sim rate %.0f warp-instr/s)\n", core.DefaultSimRate)
-	if ev.Full != nil {
-		fmt.Printf("  full simulation       %s, error %.1f%% vs silicon\n",
-			report.Hours(ev.FullSimHours), ev.FullErrorPct)
-	} else {
-		fmt.Printf("  full simulation       infeasible (projected %s)\n", report.Hours(ev.FullSimHours))
-	}
-	fmt.Printf("  PKS                   %s (%.1fx), error %.1f%%\n",
-		report.Hours(ev.PKS.SimHours), ev.PKS.SpeedupVsFull, ev.PKS.ErrorPct)
-	fmt.Printf("  PKA (PKS+PKP)         %s (%.1fx), error %.1f%%\n",
-		report.Hours(ev.PKA.SimHours), ev.PKA.SpeedupVsFull, ev.PKA.ErrorPct)
-	fmt.Printf("  PKA projected DRAM    %.1f%%\n", ev.PKA.DRAMUtil*100)
+	printSimulation(ev)
 	if *explain {
 		fmt.Println()
 		if err := flight.WriteReport(os.Stdout); err != nil {
@@ -336,6 +367,129 @@ func suiteDedupStudy(cfg core.Config, ws []*workload.Workload) error {
 			float64(perAppWork)/float64(run.SimWarpInstrs),
 			report.Hours(cfg.SimHours(perAppWork)), report.Hours(run.SimHours))
 	}
+	return nil
+}
+
+// printSelection renders the Principal Kernel Selection block. Both the
+// batch and streaming paths go through it, so a streamed study's stdout
+// stays byte-identical to the batch run.
+func printSelection(sel *pks.Selection, target float64, jsonOut string) error {
+	fmt.Printf("\nPrincipal Kernel Selection\n")
+	fmt.Printf("  groups (K)            %d\n", sel.K)
+	fmt.Printf("  two-level profiling   %v (%d of %d kernels detailed)\n", sel.TwoLevel, sel.DetailedKernels, sel.TotalKernels)
+	if sel.TwoLevel {
+		fmt.Printf("  classifier accuracy   %.3f\n", sel.ClassifierAccuracy)
+	}
+	fmt.Printf("  profiling time        %s (modeled)\n", report.Seconds(sel.ProfilingSeconds))
+	fmt.Printf("  selection error       %.2f%% (silicon, target %.1f%%)\n", sel.SelectionErrorPct, target)
+	fmt.Printf("  silicon speedup       %.1fx\n", sel.SiliconSpeedup)
+	tab := &report.Table{Columns: []string{"Group", "Rep kernel ID", "Rep name", "Population"}}
+	for gi, g := range sel.Groups {
+		tab.AddRow(fmt.Sprint(gi), fmt.Sprint(g.RepIndex), g.Representative.Name, fmt.Sprint(g.Count()))
+	}
+	fmt.Println()
+	fmt.Println(tab)
+	if jsonOut != "" {
+		if err := sel.SaveJSON(jsonOut); err != nil {
+			return err
+		}
+		fmt.Printf("selection written to %s\n\n", jsonOut)
+	}
+	return nil
+}
+
+// printSimulation renders the sampled-simulation block, shared between the
+// batch and streaming paths.
+func printSimulation(ev *core.Evaluation) {
+	fmt.Printf("simulation (modeled Accel-Sim rate %.0f warp-instr/s)\n", core.DefaultSimRate)
+	if ev.Full != nil {
+		fmt.Printf("  full simulation       %s, error %.1f%% vs silicon\n",
+			report.Hours(ev.FullSimHours), ev.FullErrorPct)
+	} else {
+		fmt.Printf("  full simulation       infeasible (projected %s)\n", report.Hours(ev.FullSimHours))
+	}
+	fmt.Printf("  PKS                   %s (%.1fx), error %.1f%%\n",
+		report.Hours(ev.PKS.SimHours), ev.PKS.SpeedupVsFull, ev.PKS.ErrorPct)
+	fmt.Printf("  PKA (PKS+PKP)         %s (%.1fx), error %.1f%%\n",
+		report.Hours(ev.PKA.SimHours), ev.PKA.SpeedupVsFull, ev.PKA.ErrorPct)
+	fmt.Printf("  PKA projected DRAM    %.1f%%\n", ev.PKA.DRAMUtil*100)
+}
+
+// streamStudy runs the -stream mode: decode the NDJSON event stream, push
+// every launch through the streaming runner (profiling, advisory
+// clustering, and speculative simulation overlap event arrival), then
+// reconcile and print the study through the exact same rendering as the
+// batch path. The speculation scorecard goes to stderr so stdout diffs
+// clean against the batch run.
+func streamStudy(cfg core.Config, path string, target float64, jsonOut string) error {
+	var rd io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rd = f
+	}
+	dec := workload.NewEventDecoder(rd)
+	h, err := dec.Header()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload   %s/%s (%d kernels) on %s\n", h.Suite, h.Name, h.Kernels, cfg.Device.Name)
+	if reg := workload.Find(h.Suite + "/" + h.Name); reg != nil && reg.Quirk != "" {
+		fmt.Printf("quirk      %s (the paper excludes this workload from some result columns)\n", reg.Quirk)
+	}
+
+	r, err := core.NewStreamRunner(cfg, h.Suite, h.Name, h.Kernels, core.StreamOptions{})
+	if err != nil {
+		return err
+	}
+	for {
+		k, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := r.Push(k); err != nil {
+			return err
+		}
+	}
+	if n := dec.Missing(); n > 0 {
+		return fmt.Errorf("event stream ended with %d of %d launches missing", n, h.Kernels)
+	}
+	res, err := r.Finish()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "stream: %d cluster revision(s), %d speculative warm(s): %d hit, %d demoted, overlap %.0f%%\n",
+		res.Resweeps, res.Spec.Launched, res.Spec.Hits, res.Spec.Demoted, res.Spec.OverlapFraction*100)
+	if err := printSelection(res.Selection, target, jsonOut); err != nil {
+		return err
+	}
+	printSimulation(res.Evaluation)
+	return nil
+}
+
+// emitEventStream writes the workload as an NDJSON kernel-event stream.
+func emitEventStream(w *workload.Workload, path string) error {
+	if path == "-" {
+		return workload.WriteEvents(os.Stdout, w)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := workload.WriteEvents(f, w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "event stream written to %s\n", path)
 	return nil
 }
 

@@ -11,9 +11,17 @@
 //	pkaserve -cache-dir /var/pka -workers http://gpu1:9377,http://gpu2:9377
 //	pkaserve -tenants prod=3,batch=1               # prod drains 3:1 under load
 //
-// Endpoints: POST /v1/study, GET /v1/latency (?text=1), GET /v1/health,
-// GET /metrics. SIGINT/SIGTERM drains gracefully: queued studies finish,
-// new ones get 503.
+// Endpoints: POST /v1/study, POST /v1/stream, GET /v1/latency (?text=1),
+// GET /v1/health, GET /metrics. SIGINT/SIGTERM drains gracefully: queued
+// studies finish, new ones get 503.
+//
+// /v1/stream is the progressive form of /v1/study: the body is NDJSON — a
+// study-request line (no workload field), then a kernel-event stream as
+// written by `pka -emit-events`. The server profiles, clusters, and
+// speculatively simulates likely representatives while events arrive,
+// answers progress lines as it goes, and ends with a line byte-identical
+// to the /v1/study response for the same workload and parameters. Streams
+// bypass the fair queue but respect drain and the -study-workers cap.
 package main
 
 import (

@@ -70,6 +70,26 @@ func Workloads(csv string) ([]*workload.Workload, error) {
 	return ws, nil
 }
 
+// FlagConflicts rejects incompatible flag combinations after parsing: each
+// pair names two flags that must not both be set on the command line. It
+// returns a single clear error naming the first conflicting pair, so
+// mutually exclusive modes (-stream with -suite-dedup, say) fail at flag
+// validation instead of somewhere deep in the pipeline. A nil fs checks
+// the default flag set.
+func FlagConflicts(fs *flag.FlagSet, pairs ...[2]string) error {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	for _, p := range pairs {
+		if set[p[0]] && set[p[1]] {
+			return fmt.Errorf("-%s and -%s are mutually exclusive", p[0], p[1])
+		}
+	}
+	return nil
+}
+
 // ParseWeights parses a "tenant=weight,tenant=weight" list (the -tenants
 // spelling shared by pkaserve and pkaload). Weights must be positive
 // integers; an empty string is an empty map.

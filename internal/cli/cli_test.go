@@ -1,0 +1,56 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+func conflictSet(t *testing.T, args ...string) *flag.FlagSet {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.String("stream", "", "")
+	fs.Bool("suite-dedup", false, "")
+	fs.String("w", "", "")
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestFlagConflicts(t *testing.T) {
+	pair := [2]string{"stream", "suite-dedup"}
+
+	// Both set: one clear error naming both flags.
+	fs := conflictSet(t, "-stream", "events.ndjson", "-suite-dedup")
+	err := FlagConflicts(fs, pair)
+	if err == nil {
+		t.Fatal("conflicting flags accepted")
+	}
+	if !strings.Contains(err.Error(), "-stream") || !strings.Contains(err.Error(), "-suite-dedup") {
+		t.Errorf("error %q does not name both flags", err)
+	}
+
+	// Either alone is fine, as is neither; a set flag at its default value
+	// still counts as set (the user typed it).
+	for _, args := range [][]string{
+		{"-stream", "events.ndjson"},
+		{"-suite-dedup"},
+		{"-w", "Rodinia/gauss_208"},
+		{},
+	} {
+		fs := conflictSet(t, args...)
+		if err := FlagConflicts(fs, pair); err != nil {
+			t.Errorf("args %v: unexpected conflict: %v", args, err)
+		}
+	}
+
+	// Multiple pairs: the first conflicting pair wins.
+	fs = conflictSet(t, "-stream", "x", "-suite-dedup", "-w", "a/b")
+	err = FlagConflicts(fs, [2]string{"w", "stream"}, pair)
+	if err == nil || !strings.Contains(err.Error(), "-w") {
+		t.Errorf("expected the first pair's error, got %v", err)
+	}
+}

@@ -22,6 +22,14 @@ type KMeansResult struct {
 	Inertia    float64 // sum of squared distances to assigned centers
 	Iterations int
 	Repairs    int // empty clusters re-seeded during the run
+
+	// flat is the contiguous backing array behind Centers when the result
+	// came out of KMeans (Centers[c] == flat[c*dim:(c+1)*dim]). It lets
+	// NearestCenter walk the centers with one bounds check per coordinate
+	// instead of a slice-header load per center — the per-event hot path of
+	// the streaming layer. Hand-built results leave it nil and fall back to
+	// the row walk.
+	flat []float64
 }
 
 // KMeansOptions controls the Lloyd iteration.
@@ -336,6 +344,7 @@ func (ds *Dataset) KMeans(k int, opts KMeansOptions) (*KMeansResult, error) {
 		Inertia:    inertia,
 		Iterations: iter,
 		Repairs:    repairs,
+		flat:       flat,
 	}, nil
 }
 
@@ -468,8 +477,28 @@ func pickWeighted(d2 []float64, target float64) int {
 	return 0
 }
 
-// NearestCenter returns the index of the center closest to p.
+// NearestCenter returns the index of the center closest to p. It performs
+// no allocations: the streaming layer calls it once per kernel event, so
+// its cost must stay at "K small dot products". Results produced by KMeans
+// take the flat-backing fast path; hand-built results fall back to walking
+// the center rows, with identical tie-breaking (lowest index wins).
 func (r *KMeansResult) NearestCenter(p []float64) int {
+	if flat := r.flat; flat != nil {
+		dim := len(p)
+		best, bestD := 0, math.Inf(1)
+		for c := 0; c*dim < len(flat); c++ {
+			ctr := flat[c*dim : (c+1)*dim]
+			var d float64
+			for j, v := range p {
+				diff := v - ctr[j]
+				d += diff * diff
+			}
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		return best
+	}
 	best, bestD := 0, math.Inf(1)
 	for c, ctr := range r.Centers {
 		if d := sqDist(p, ctr); d < bestD {

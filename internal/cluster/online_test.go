@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"pka/internal/stats"
+)
+
+// TestAppendMatchesBatchDataset pins that a Dataset grown point by point
+// fits exactly the same clustering as one built in a single shot — the
+// streaming layer relies on Append being invisible to KMeans.
+func TestAppendMatchesBatchDataset(t *testing.T) {
+	pts, _ := threeBlobs(40, 3)
+	batch, err := NewDataset(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := NewEmptyDataset(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave appends with fits, as the streaming layer does: scratch
+	// grown by an early fit must not perturb later ones.
+	for i, p := range pts {
+		if err := grown.Append(p); err != nil {
+			t.Fatal(err)
+		}
+		if i == 20 {
+			if _, err := grown.KMeans(2, KMeansOptions{Seed: 5}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want, err := batch.KMeans(3, KMeansOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := grown.KMeans(3, KMeansOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Inertia != want.Inertia || got.Iterations != want.Iterations {
+		t.Fatalf("grown fit diverged: inertia %v vs %v, iters %d vs %d",
+			got.Inertia, want.Inertia, got.Iterations, want.Iterations)
+	}
+	for i := range want.Assignment {
+		if got.Assignment[i] != want.Assignment[i] {
+			t.Fatalf("assignment[%d] = %d, want %d", i, got.Assignment[i], want.Assignment[i])
+		}
+	}
+	if err := grown.Append([]float64{1}); err == nil {
+		t.Fatal("wrong-dimension append accepted")
+	}
+}
+
+// TestOnlineAssignMatchesFullScan drives an OnlineKMeans through a point
+// stream and checks every early-exiting Hamerly-bounded assignment against
+// a brute-force scan over the learner's current centers.
+func TestOnlineAssignMatchesFullScan(t *testing.T) {
+	pts, _ := threeBlobs(60, 11)
+	seedRes, err := KMeans(pts[:60], 3, KMeansOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewOnlineKMeans(seedRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(99)
+	for i := 0; i < 500; i++ {
+		p := []float64{rng.NormFloat64() * 8, rng.NormFloat64() * 8}
+		// Brute force against the centers as they stand *before* Observe
+		// moves them.
+		want, wantD := 0, math.Inf(1)
+		for c := 0; c < o.K(); c++ {
+			if d := sqDist(p, o.Center(c)); d < wantD {
+				want, wantD = c, d
+			}
+		}
+		if got := o.Observe(p); got != want {
+			t.Fatalf("event %d: online assigned %d, full scan says %d", i, got, want)
+		}
+	}
+}
+
+// TestOnlineObserveTracksDrift checks the mini-batch update actually moves
+// centers toward a drifting distribution.
+func TestOnlineObserveTracksDrift(t *testing.T) {
+	pts := [][]float64{{0, 0}, {0.1, 0}, {10, 10}, {10.1, 10}}
+	res, err := KMeans(pts, 2, KMeansOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewOnlineKMeans(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream many points near (14, 14): whichever center owns the (10,10)
+	// blob must migrate toward the new mass.
+	target := []float64{14, 14}
+	c := o.Assign(target)
+	before := math.Sqrt(sqDist(o.Center(c), target))
+	for i := 0; i < 200; i++ {
+		o.Observe(target)
+	}
+	after := math.Sqrt(sqDist(o.Center(c), target))
+	if after >= before {
+		t.Fatalf("center never moved toward drifted mass: %.3f -> %.3f", before, after)
+	}
+}
+
+// TestNearestCenterAllocFree pins the streaming hot path at zero
+// allocations per call, on both the flat fast path (results from KMeans)
+// and the row fallback (hand-built results).
+func TestNearestCenterAllocFree(t *testing.T) {
+	pts, _ := threeBlobs(30, 7)
+	res, err := KMeans(pts, 3, KMeansOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := &KMeansResult{K: res.K, Centers: res.Centers}
+	p := []float64{1.5, -2.5}
+	if got, want := res.NearestCenter(p), manual.NearestCenter(p); got != want {
+		t.Fatalf("flat path picked %d, row path %d", got, want)
+	}
+	for name, r := range map[string]*KMeansResult{"flat": res, "rows": manual} {
+		if allocs := testing.AllocsPerRun(100, func() { r.NearestCenter(p) }); allocs != 0 {
+			t.Errorf("%s NearestCenter allocates %.0f per call, want 0", name, allocs)
+		}
+	}
+}
+
+// BenchmarkNearestCenter measures the per-event cost of the streaming
+// layer's nearest-center lookup at a PKS-typical K and dimensionality.
+func BenchmarkNearestCenter(b *testing.B) {
+	rng := stats.NewRNG(21)
+	pts := make([][]float64, 4096)
+	for i := range pts {
+		pts[i] = []float64{rng.NormFloat64() * 5, rng.NormFloat64() * 5, rng.NormFloat64() * 5}
+	}
+	res, err := KMeans(pts, 16, KMeansOptions{Seed: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := []float64{0.5, -1.5, 2.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res.NearestCenter(p)
+	}
+}

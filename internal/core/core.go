@@ -258,6 +258,16 @@ func RunSampled(cfg Config, w *workload.Workload, sel *pks.Selection, usePKP boo
 // concurrently up to cfg.Parallelism; every stage is self-contained, so
 // the result is identical at any parallelism level.
 func Evaluate(cfg Config, w *workload.Workload) (*Evaluation, error) {
+	return EvaluateWithSelection(cfg, w, nil)
+}
+
+// EvaluateWithSelection is Evaluate with an optional precomputed selection.
+// When sel is non-nil the PKS stage is skipped and sel is used verbatim —
+// the streaming pipeline hands in the selection it reconciled while events
+// were still arriving; because that selection is byte-identical to what
+// pks.Select would have produced, so is the Evaluation. A nil sel is
+// exactly Evaluate.
+func EvaluateWithSelection(cfg Config, w *workload.Workload, sel *pks.Selection) (*Evaluation, error) {
 	if w == nil {
 		return nil, errors.New("core: nil workload")
 	}
@@ -268,7 +278,6 @@ func Evaluate(cfg Config, w *workload.Workload) (*Evaluation, error) {
 	var (
 		silErr, selErr, fullErr error
 		sil                     silicon.AppResult
-		sel                     *pks.Selection
 		full                    *sampling.Result
 	)
 	pool := parallel.NewPool(cfg.Parallelism)
@@ -278,12 +287,14 @@ func Evaluate(cfg Config, w *workload.Workload) (*Evaluation, error) {
 		sil, silErr = sampling.SiliconTotal(cfg.Device, w)
 		return nil
 	})
-	pool.Go(func() error {
-		sp := cfg.Obs.StartSpan("pks-select", w.FullName())
-		defer sp.End()
-		sel, selErr = pks.Select(cfg.Device, w, cfg.PKSOptions())
-		return nil
-	})
+	if sel == nil {
+		pool.Go(func() error {
+			sp := cfg.Obs.StartSpan("pks-select", w.FullName())
+			defer sp.End()
+			sel, selErr = pks.Select(cfg.Device, w, cfg.PKSOptions())
+			return nil
+		})
+	}
 	pool.Go(func() error {
 		sp := cfg.Obs.StartSpan("full-sim", w.FullName())
 		defer sp.End()

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"pka/internal/parallel"
+	"pka/internal/sampling"
+	"pka/internal/stats"
+	"pka/internal/workload"
+)
+
+// sameEvaluation compares two evaluations field by field, skipping the
+// Workload pointer (the streamed run rebuilds its workload from events, so
+// the generator closures differ while every kernel they serve is equal).
+func sameEvaluation(t *testing.T, label string, got, want *Evaluation) {
+	t.Helper()
+	if got.Silicon != want.Silicon {
+		t.Errorf("%s: silicon differs: %+v vs %+v", label, got.Silicon, want.Silicon)
+	}
+	if !reflect.DeepEqual(got.Selection, want.Selection) {
+		t.Errorf("%s: selection differs:\ngot:  %+v\nwant: %+v", label, got.Selection, want.Selection)
+	}
+	if !reflect.DeepEqual(got.Full, want.Full) {
+		t.Errorf("%s: full sim differs: %+v vs %+v", label, got.Full, want.Full)
+	}
+	if got.FullErrorPct != want.FullErrorPct || got.FullSimHours != want.FullSimHours {
+		t.Errorf("%s: full accounting differs", label)
+	}
+	if got.PKS != want.PKS {
+		t.Errorf("%s: PKS differs: %+v vs %+v", label, got.PKS, want.PKS)
+	}
+	if got.PKA != want.PKA {
+		t.Errorf("%s: PKA differs: %+v vs %+v", label, got.PKA, want.PKA)
+	}
+}
+
+// TestStreamDeterminism pins the tentpole invariant: the streaming
+// pipeline's output is byte-identical to batch Evaluate at any
+// parallelism, across event arrival orders within the launch window, and
+// under forced speculative misprediction (advisory cluster revisions every
+// few events) — speculation and overlap are pure wall-clock effects.
+func TestStreamDeterminism(t *testing.T) {
+	for _, name := range []string{"Rodinia/gauss_208", "Rodinia/hots_512"} {
+		w := workload.Find(name)
+		if w == nil {
+			t.Fatalf("workload %s not registered", name)
+		}
+		want, err := Evaluate(cfg(), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		arms := []struct {
+			label string
+			par   int
+			shuf  int
+			opts  StreamOptions
+		}{
+			{"in-order/p=1", 1, 0, StreamOptions{}},
+			{"in-order/p=4", 4, 0, StreamOptions{}},
+			{"shuffled/p=4", 4, 16, StreamOptions{Window: 32}},
+			{"misprediction/p=4", 4, 16, StreamOptions{Window: 32, MinDetailed: 8, ResweepEvery: 8}},
+		}
+		for _, arm := range arms {
+			c := cfg()
+			c.Parallelism = arm.par
+			c.Exec = sampling.NewExec(parallel.NewScheduler(arm.par), nil)
+			r, err := NewStreamRunner(c, w.Suite, w.Name, w.N, arm.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			order := make([]int, w.N)
+			for i := range order {
+				order[i] = i
+			}
+			if arm.shuf > 1 {
+				rng := stats.NewRNG(13)
+				for base := 0; base < w.N; base += arm.shuf {
+					end := base + arm.shuf
+					if end > w.N {
+						end = w.N
+					}
+					for i := end - 1; i > base; i-- {
+						j := base + rng.Intn(i-base+1)
+						order[i], order[j] = order[j], order[i]
+					}
+				}
+			}
+			for _, i := range order {
+				if err := r.Push(w.Kernel(i)); err != nil {
+					t.Fatalf("%s/%s: push %d: %v", name, arm.label, i, err)
+				}
+			}
+			res, err := r.Finish()
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, arm.label, err)
+			}
+			sameEvaluation(t, name+"/"+arm.label, res.Evaluation, want)
+			// hots_512 is a single-kernel app: the advisory clustering never
+			// warms up, so only the multi-kernel workload asserts revisions.
+			if arm.label == "misprediction/p=4" && w.N > 8 && res.Resweeps < 2 {
+				t.Errorf("%s: misprediction arm revised clusters only %d times", name, res.Resweeps)
+			}
+		}
+	}
+}
+
+// TestRunStreamSpeculationPaysOff checks the speculation scorecard: with a
+// warm-capable Exec, the final representatives' sampled tasks should have
+// been warmed before reconciliation (overlap fraction 1 on an in-order
+// stream of a small app), and the evaluation still matches batch.
+func TestRunStreamSpeculationPaysOff(t *testing.T) {
+	w := workload.Find("Rodinia/gauss_208")
+	c := cfg()
+	c.Exec = sampling.NewExec(parallel.NewScheduler(2), nil)
+	res, err := RunStream(c, w, StreamOptions{MinDetailed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Evaluate(cfg(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameEvaluation(t, "speculative", res.Evaluation, want)
+	if res.Spec.Launched == 0 {
+		t.Fatal("no speculation happened despite a warm-capable Exec")
+	}
+	// How much of the warm queue drains before reconciliation is a pure
+	// timing question (this box's profiler is analytic-fast), so the
+	// overlap fraction is only pinned to its range; what must hold is the
+	// accounting: some warms were for keys the fold consumed.
+	if res.Spec.OverlapFraction < 0 || res.Spec.OverlapFraction > 1 {
+		t.Errorf("overlap fraction %v outside [0,1]", res.Spec.OverlapFraction)
+	}
+	if hit := res.Spec.Launched - res.Spec.Demoted; hit == 0 {
+		t.Errorf("every one of %d warms was demoted; expected the full-sim and rep warms to match final keys", res.Spec.Launched)
+	}
+}

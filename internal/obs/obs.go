@@ -35,6 +35,7 @@ type Observer struct {
 	exec   *ExecMetrics
 	shard  *ShardMetrics
 	dedup  *DedupMetrics
+	stream *StreamMetrics
 
 	cacheMu    sync.Mutex
 	cacheSrcs  []func() map[string]CacheCounts
@@ -59,6 +60,7 @@ func NewObserverAt(now func() time.Time) *Observer {
 	o.ExecMetrics()
 	o.ShardMetrics()
 	o.DedupMetrics()
+	o.StreamMetrics()
 	// Span loss at the tracer's memory cap lands in the exposition instead
 	// of vanishing silently.
 	o.Tracer.SetDropCounter(o.Metrics.Counter(
@@ -469,6 +471,39 @@ func (o *Observer) DedupMetrics() *DedupMetrics {
 		}
 	}
 	return o.dedup
+}
+
+// StreamMetrics is the streaming-PKS pipeline's metric family: how many
+// kernel events flowed through, how often the advisory clustering forced a
+// re-sweep, and how the speculation gamble paid off — hits are
+// representative simulations already warm at reconciliation, wasted
+// warp-instrs are work spent on reps a later cluster revision demoted.
+type StreamMetrics struct {
+	Events          *Counter
+	Resweeps        *Counter
+	Speculated      *Counter
+	SpecHits        *Counter
+	SpecWastedInstr *Counter
+	OverlapFraction *Gauge
+}
+
+// StreamMetrics lazily builds (and then reuses) the streaming bundle.
+func (o *Observer) StreamMetrics() *StreamMetrics {
+	if o == nil || o.Metrics == nil {
+		return nil
+	}
+	if o.stream == nil {
+		r := o.Metrics
+		o.stream = &StreamMetrics{
+			Events:          r.Counter("pka_stream_events_total", "kernel launch events consumed by the streaming pipeline"),
+			Resweeps:        r.Counter("pka_stream_resweeps_total", "advisory K re-sweeps triggered by estimate degradation"),
+			Speculated:      r.Counter("pka_stream_speculated_total", "speculative warms dispatched down the exec ladder"),
+			SpecHits:        r.Counter("pka_stream_spec_hits_total", "final representatives whose simulation was speculatively warmed"),
+			SpecWastedInstr: r.Counter("pka_stream_spec_wasted_warp_instrs_total", "warp instructions simulated for reps later demoted by a cluster revision"),
+			OverlapFraction: r.Gauge("pka_stream_overlap_fraction", "fraction of final representative work completed before reconciliation began"),
+		}
+	}
+	return o.stream
 }
 
 // RemoteWorkerStats is one worker's dispatcher-side state, published

@@ -191,11 +191,29 @@ func Select(dev gpu.Device, w *workload.Workload, opts Options) (*Selection, err
 			break
 		}
 	}
+	return finishSelection(sel, detailed, sharedMem, o, func(i int) (profiler.LightRecord, float64, error) {
+		k := w.Kernel(i)
+		return profiler.Light(dev, &k)
+	})
+}
+
+// lightSource yields the light profile of kernel launch i. Batch selection
+// profiles live from the workload; the streaming path replays records it
+// buffered while events arrived. Both feed the identical arithmetic in
+// finishSelection, which is what keeps streaming output byte-identical to
+// batch.
+type lightSource func(i int) (profiler.LightRecord, float64, error)
+
+// finishSelection runs everything downstream of the detailed-profiling
+// pass: the PCA + K-Means sweep, two-level classifier mapping over the
+// light records, and the final projection accounting, metrics, and audit
+// trail. It is shared verbatim by Select and Stream.Finalize.
+func finishSelection(sel *Selection, detailed []profiler.DetailedRecord, sharedMem []int, o Options, light lightSource) (*Selection, error) {
 	if len(detailed) == 0 {
 		return nil, errors.New("pks: workload has no kernels")
 	}
 	sel.DetailedKernels = len(detailed)
-	sel.TwoLevel = sel.DetailedKernels < w.N
+	sel.TwoLevel = sel.DetailedKernels < sel.TotalKernels
 
 	// Cluster the detailed set and sweep K.
 	groups, assignment, sweep, err := clusterDetailed(detailed, o)
@@ -213,7 +231,7 @@ func Select(dev gpu.Device, w *workload.Workload, opts Options) (*Selection, err
 	// ...and pass 2 (two-level only) light-profiles, maps, and accounts
 	// for the rest.
 	if sel.TwoLevel {
-		if err := mapLightKernels(dev, w, sel, detailed, sharedMem, assignment, o); err != nil {
+		if err := mapLightKernels(sel, detailed, sharedMem, assignment, o, light); err != nil {
 			return nil, err
 		}
 	}
@@ -438,10 +456,10 @@ func pickRepresentative(points [][]float64, res *cluster.KMeansResult, c int, me
 }
 
 // mapLightKernels performs the second pass of two-level profiling: train
-// the classifier ensemble on the detailed prefix, then stream the
-// remaining kernels through lightweight profiling and map each onto a
-// group. It also extends the ground-truth cycle total over the full app.
-func mapLightKernels(dev gpu.Device, w *workload.Workload, sel *Selection, detailed []profiler.DetailedRecord, sharedMem []int, assignment []int, o Options) error {
+// the classifier ensemble on the detailed prefix, then pull the remaining
+// kernels' light profiles from the source and map each onto a group. It
+// also extends the ground-truth cycle total over the full app.
+func mapLightKernels(sel *Selection, detailed []profiler.DetailedRecord, sharedMem []int, assignment []int, o Options, light lightSource) error {
 	// Classifier training cost grows linearly in rows while huge detailed
 	// prefixes are massively redundant (the same layer kernels repeat
 	// thousands of times), so cap the training set by strided sampling.
@@ -481,9 +499,8 @@ func mapLightKernels(dev gpu.Device, w *workload.Workload, sel *Selection, detai
 		return fmt.Errorf("pks: classifier training: %w", err)
 	}
 
-	for i := sel.DetailedKernels; i < w.N; i++ {
-		k := w.Kernel(i)
-		rec, cost, err := profiler.Light(dev, &k)
+	for i := sel.DetailedKernels; i < sel.TotalKernels; i++ {
+		rec, cost, err := light(i)
 		if err != nil {
 			return fmt.Errorf("pks: light profiling kernel %d: %w", i, err)
 		}

@@ -31,6 +31,12 @@ import (
 const (
 	// StudyPath runs one study request (POST, JSON body).
 	StudyPath = "/v1/study"
+	// StreamPath runs one streaming study (POST, NDJSON body): a study
+	// request line, then a kernel-event stream in the workload event
+	// format. The response is NDJSON too — progress lines while events are
+	// consumed, then a final line byte-identical to the StudyPath response
+	// for the same workload and parameters.
+	StreamPath = "/v1/stream"
 	// LatencyPath reports the rolling latency percentiles (GET; ?text=1
 	// for the human-readable report).
 	LatencyPath = "/v1/latency"
@@ -216,6 +222,53 @@ func DecodeStudyRequest(r io.Reader) (*StudyRequest, error) {
 // Validate normalizes defaults and rejects out-of-bounds parameters,
 // resolving the workload and device in the process. It is idempotent.
 func (r *StudyRequest) Validate() error {
+	if err := r.validateParams(); err != nil {
+		return err
+	}
+	switch {
+	case r.Workload != "" && len(r.WorkloadJSON) > 0:
+		return errors.New("serve: request sets both workload and workload_json")
+	case r.Workload != "":
+		w, err := cli.FindWorkload(r.Workload)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		r.w = w
+	case len(r.WorkloadJSON) > 0:
+		w, err := workload.FromJSON(bytes.NewReader(r.WorkloadJSON))
+		if err != nil {
+			return fmt.Errorf("serve: inline workload: %w", err)
+		}
+		r.w = w
+	case r.w != nil:
+		// Already resolved — stream requests get their workload from the
+		// event stream, not the request line.
+	default:
+		return errors.New("serve: request names no workload")
+	}
+	return nil
+}
+
+// validateStream validates a StreamPath request line: the same parameter
+// checks as Validate, except the workload comes from the event stream
+// that follows — naming one in the request line is an error — and full
+// mode is rejected (it has no selection to compute incrementally).
+func (r *StudyRequest) validateStream() error {
+	if r.Workload != "" || len(r.WorkloadJSON) > 0 {
+		return errors.New("serve: stream request names a workload; the event-stream header does that")
+	}
+	if err := r.validateParams(); err != nil {
+		return err
+	}
+	if r.Mode == "full" {
+		return errors.New("serve: stream endpoint supports modes pks and pka")
+	}
+	return nil
+}
+
+// validateParams checks and defaults every study parameter except the
+// workload.
+func (r *StudyRequest) validateParams() error {
 	if r.Tenant == "" {
 		r.Tenant = "anon"
 	}
@@ -260,24 +313,6 @@ func (r *StudyRequest) Validate() error {
 	}
 	if r.MaxK == 0 {
 		r.MaxK = 20
-	}
-	switch {
-	case r.Workload != "" && len(r.WorkloadJSON) > 0:
-		return errors.New("serve: request sets both workload and workload_json")
-	case r.Workload != "":
-		w, err := cli.FindWorkload(r.Workload)
-		if err != nil {
-			return fmt.Errorf("serve: %w", err)
-		}
-		r.w = w
-	case len(r.WorkloadJSON) > 0:
-		w, err := workload.FromJSON(bytes.NewReader(r.WorkloadJSON))
-		if err != nil {
-			return fmt.Errorf("serve: inline workload: %w", err)
-		}
-		r.w = w
-	default:
-		return errors.New("serve: request names no workload")
 	}
 	return nil
 }

@@ -21,6 +21,15 @@ import (
 // after the study results — every study field is byte-identical with them
 // on or off.
 func Run(exec *sampling.Exec, o *obs.Observer, req *StudyRequest) (*StudyResponse, error) {
+	return RunWithSelection(exec, o, req, nil)
+}
+
+// RunWithSelection is Run with a precomputed Principal Kernel Selection,
+// as the streaming endpoint produces while events are still arriving. A
+// nil sel falls back to batch pks.Select; because the streaming selection
+// is byte-identical to the batch one by construction, the response is
+// byte-identical either way. Full mode ignores sel.
+func RunWithSelection(exec *sampling.Exec, o *obs.Observer, req *StudyRequest, sel *pks.Selection) (*StudyResponse, error) {
 	if req.w == nil {
 		// Direct callers may build requests without going through
 		// DecodeStudyRequest.
@@ -110,10 +119,13 @@ func Run(exec *sampling.Exec, o *obs.Observer, req *StudyRequest) (*StudyRespons
 		resp.DRAMUtil = full.DRAMUtil
 		resp.Truncated = full.Truncated
 	default: // "pks", "pka"
-		sel, err := pks.Select(req.dev, req.w, cfg.PKSOptions())
-		if err != nil {
-			root.End()
-			return nil, fmt.Errorf("serve: selection for %s: %w", req.w.FullName(), err)
+		if sel == nil {
+			var err error
+			sel, err = pks.Select(req.dev, req.w, cfg.PKSOptions())
+			if err != nil {
+				root.End()
+				return nil, fmt.Errorf("serve: selection for %s: %w", req.w.FullName(), err)
+			}
 		}
 		ss, err := core.RunSampled(cfg, req.w, sel, req.Mode == "pka")
 		if err != nil {

@@ -97,7 +97,8 @@ type Server struct {
 	cond     *sync.Cond
 	q        *fairQueue
 	running  int // runner goroutines alive
-	inflight int // requests executing
+	inflight int // requests executing (queued studies and streams)
+	streams  int // streaming studies in flight, capped at width
 	draining bool
 
 	// Plain counters mirror the metric bundle so Health works without an
@@ -342,6 +343,7 @@ func (s *Server) Health() ServeHealth {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(StudyPath, s.handleStudy)
+	mux.HandleFunc(StreamPath, s.handleStream)
 	mux.HandleFunc(LatencyPath, s.handleLatency)
 	mux.HandleFunc(HealthPath, s.handleHealth)
 	mux.HandleFunc(MetricsPath, s.handleMetrics)

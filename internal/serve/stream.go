@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"pka/internal/obs"
+	"pka/internal/pkp"
+	"pka/internal/pks"
+	"pka/internal/sampling"
+	"pka/internal/sim"
+	"pka/internal/trace"
+	"pka/internal/workload"
+)
+
+// The streaming endpoint is the serving tier's face of streaming PKS: the
+// client POSTs a study request line followed by a kernel-event stream, and
+// the server profiles, clusters, and speculatively simulates while the
+// events are still arriving on the wire. The response is NDJSON —
+// StreamLine progress while events are consumed, then one final line that
+// is byte-identical to what StudyPath returns for the same workload and
+// parameters, because the streamed selection is byte-identical to batch
+// pks.Select and the fold reads the same content-keyed ladder.
+
+// StreamProgress is the payload of one progress line: how far the intake
+// has gotten and, on the final progress line, the speculation scorecard.
+type StreamProgress struct {
+	// Events is the number of launch events consumed so far.
+	Events int `json:"events"`
+	// Detailed is the number of kernels profiled in detail so far.
+	Detailed int `json:"detailed"`
+	// Resweeps counts advisory cluster revisions so far.
+	Resweeps int `json:"resweeps"`
+	// Speculated, Hits, Demoted, and WastedWarpInstrs appear on the final
+	// progress line: warms dispatched, final keys warmed before the
+	// reconciliation cutoff, warms the final selection discarded, and the
+	// simulation work those discards burned.
+	Speculated       int   `json:"speculated,omitempty"`
+	Hits             int   `json:"hits,omitempty"`
+	Demoted          int   `json:"demoted,omitempty"`
+	WastedWarpInstrs int64 `json:"wasted_warp_instrs,omitempty"`
+}
+
+// StreamLine is one non-final NDJSON line of a StreamPath response.
+// Exactly one field is set. The final line of a successful stream is a
+// bare StudyResponse, distinguished by carrying neither key.
+type StreamLine struct {
+	Progress *StreamProgress `json:"progress,omitempty"`
+	Error    string          `json:"error,omitempty"`
+}
+
+// readLineCapped reads one newline-terminated line of at most max bytes,
+// without buffering past it.
+func readLineCapped(br *bufio.Reader, max int) ([]byte, error) {
+	var buf []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		buf = append(buf, frag...)
+		if len(buf) > max {
+			return nil, fmt.Errorf("serve: stream request line exceeds %d bytes", max)
+		}
+		switch err {
+		case nil:
+			return buf, nil
+		case io.EOF:
+			if len(bytes.TrimSpace(buf)) == 0 {
+				return nil, io.EOF
+			}
+			return buf, nil
+		case bufio.ErrBufferFull:
+			// Keep accumulating up to the cap.
+		default:
+			return nil, err
+		}
+	}
+}
+
+// decodeStreamRequest parses and validates the request line of a
+// streaming study.
+func decodeStreamRequest(line []byte) (*StudyRequest, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	req := &StudyRequest{}
+	if err := dec.Decode(req); err != nil {
+		return nil, fmt.Errorf("serve: malformed stream request: %w", err)
+	}
+	if dec.More() {
+		return nil, errors.New("serve: trailing data after stream request")
+	}
+	if err := req.validateStream(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// admitStream reserves one long-lived stream slot. Streams bypass the
+// fair queue — their work arrives over the wire interleaved with
+// execution, so there is nothing to reorder — but they respect drain and
+// are capped at the runner width so a flood of streams cannot starve the
+// queued tier.
+func (s *Server) admitStream() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.drainRejects++
+		s.m.DrainRejects.Inc()
+		return ErrDraining
+	}
+	if s.streams >= s.width {
+		s.rejected++
+		s.m.Rejected.Inc()
+		return ErrQueueFull
+	}
+	s.streams++
+	s.inflight++
+	s.served++
+	s.m.Requests.Inc()
+	s.m.InFlight.Set(float64(s.inflight))
+	return nil
+}
+
+// finishStream releases the slot and settles the request counters; the
+// broadcast wakes any drain waiting on in-flight work.
+func (s *Server) finishStream(failed bool) {
+	s.mu.Lock()
+	s.streams--
+	s.inflight--
+	if failed {
+		s.failed++
+	} else {
+		s.completed++
+	}
+	s.m.InFlight.Set(float64(s.inflight))
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if failed {
+		s.m.Errors.Inc()
+	} else {
+		s.m.Completed.Inc()
+	}
+}
+
+// handleStream implements POST StreamPath.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	br := bufio.NewReaderSize(r.Body, 64*1024)
+	line, err := readLineCapped(br, MaxStudyRequestBytes)
+	if err == io.EOF {
+		err = errors.New("serve: empty stream request")
+	}
+	var req *StudyRequest
+	if err == nil {
+		req, err = decodeStreamRequest(line)
+	}
+	if err != nil {
+		s.mu.Lock()
+		s.invalid++
+		s.mu.Unlock()
+		s.m.Invalid.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if tc, ok := obs.ParseTraceparent(r.Header.Get(TraceparentHeader)); ok {
+		req.SetTraceParent(tc)
+	}
+	if err := s.admitStream(); err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+		default:
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		}
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	started := s.now()
+	sp := s.o.StartSpan("serve-stream", req.Tenant+":"+req.Mode)
+	resp, err := s.runStream(req, br, func(p *StreamProgress) {
+		_ = enc.Encode(StreamLine{Progress: p})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+	sp.End()
+	total := s.now().Sub(started)
+	s.rec.Observe(req.Tenant, 0, total, err != nil)
+	s.m.Latency.Observe(total.Seconds())
+	s.finishStream(err != nil)
+	if err != nil {
+		// The status line already went out 200; the error travels in-band,
+		// the NDJSON convention for mid-stream failure.
+		_ = enc.Encode(StreamLine{Error: err.Error()})
+		return
+	}
+	_ = enc.Encode(resp)
+}
+
+// runStream drives one streaming study: decode events, feed the streaming
+// selector (which speculatively warms likely representatives through the
+// Exec ladder), then reconcile and run the sampled fold on the finalized
+// selection.
+func (s *Server) runStream(req *StudyRequest, body io.Reader, progress func(*StreamProgress)) (*StudyResponse, error) {
+	dec := workload.NewEventDecoder(body)
+	h, err := dec.Header()
+	if err != nil {
+		return nil, err
+	}
+
+	// The speculative task spec must be byte-for-byte what RunSampled will
+	// fold for this mode, or the content keys won't match and warming buys
+	// nothing.
+	task := sampling.KernelTask{Mode: sampling.ModePKS, MaxCycles: sim.DefaultMaxCycles}
+	if req.Mode == "pka" {
+		task = sampling.KernelTask{
+			Mode: sampling.ModePKA, MaxCycles: sim.DefaultMaxCycles,
+			PKP: sampling.NewPKPSpec(pkp.Options{Threshold: req.Threshold, Window: req.Window}),
+		}
+	}
+	so := pks.StreamOptions{Select: pks.Options{TargetErrorPct: req.TargetErrorPct, MaxK: req.MaxK}}
+	if s.o != nil {
+		so.Metrics = s.o.StreamMetrics()
+	}
+	var spec *sampling.Speculator
+	if s.exec != nil {
+		spec = sampling.NewSpeculator(s.exec, req.dev, []sampling.KernelTask{task}, 2)
+		so.Speculate = spec.Speculate
+	}
+	stream, err := pks.NewStream(req.dev, h.Suite, h.Name, h.Kernels, so)
+	if err != nil {
+		return nil, err
+	}
+
+	// Intake. Progress is buffered here rather than written: for HTTP/1.x,
+	// writing any response byte may stop further reads of the request body,
+	// so nothing goes on the wire until the event stream is fully consumed.
+	// The buffered lines then flush before the reconciliation fold — which
+	// is where the wall-clock goes — so the client still sees the intake
+	// history well ahead of the final response.
+	var pending []*StreamProgress
+	kernels := make([]trace.KernelDesc, h.Kernels)
+	events, lastResweeps := 0, 0
+	for {
+		k, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := stream.Push(k); err != nil {
+			return nil, err
+		}
+		kernels[k.ID] = k
+		events++
+		if rs := stream.Resweeps(); rs != lastResweeps {
+			lastResweeps = rs
+			pending = append(pending, &StreamProgress{Events: events, Detailed: stream.DetailedSoFar(), Resweeps: rs})
+		}
+	}
+	if n := dec.Missing(); n > 0 {
+		return nil, fmt.Errorf("serve: event stream ended with %d of %d launches missing", n, h.Kernels)
+	}
+	for _, p := range pending {
+		progress(p)
+	}
+	sel, err := stream.Finalize()
+	if err != nil {
+		return nil, err
+	}
+	wl, err := workload.FromKernels(h.Suite, h.Name, kernels)
+	if err != nil {
+		return nil, err
+	}
+	req.w = wl
+
+	finalKeys := map[string]bool{}
+	if spec != nil {
+		// Warm the elected reps (duplicates of earlier warms dedupe away),
+		// then mark the reconciliation cutoff.
+		for _, g := range sel.Groups {
+			spec.SpeculateTask(kernels[g.RepIndex], task)
+			finalKeys[sampling.TaskKey(req.dev, &kernels[g.RepIndex], task)] = true
+		}
+		spec.Seal()
+	}
+	resp, err := RunWithSelection(s.exec, s.o, req, sel)
+	if err != nil {
+		return nil, err
+	}
+	final := &StreamProgress{Events: events, Detailed: stream.DetailedSoFar(), Resweeps: stream.Resweeps()}
+	if spec != nil {
+		spec.Wait()
+		st := spec.Resolve(finalKeys)
+		final.Speculated = st.Launched
+		final.Hits = st.Hits
+		final.Demoted = st.Demoted
+		final.WastedWarpInstrs = st.WastedWarpInstrs
+		if s.o != nil {
+			if m := s.o.StreamMetrics(); m != nil {
+				m.Speculated.Add(int64(st.Launched))
+				m.SpecHits.Add(int64(st.Hits))
+				m.SpecWastedInstr.Add(st.WastedWarpInstrs)
+				m.OverlapFraction.Set(st.OverlapFraction)
+			}
+		}
+	}
+	progress(final)
+	return resp, nil
+}

@@ -1,0 +1,160 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pka/internal/parallel"
+	"pka/internal/sampling"
+	"pka/internal/serve"
+	"pka/internal/workload"
+)
+
+// streamBody builds a StreamPath request: one study-request line followed
+// by the workload's kernel-event stream.
+func streamBody(t *testing.T, reqLine string, wname string) *bytes.Buffer {
+	t.Helper()
+	w := workload.Find(wname)
+	if w == nil {
+		t.Fatalf("workload %s not registered", wname)
+	}
+	var buf bytes.Buffer
+	buf.WriteString(reqLine + "\n")
+	if err := workload.WriteEvents(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+// TestStreamEndpointMatchesStudy pins the progressive endpoint's core
+// promise: the final NDJSON line is byte-identical to the StudyPath
+// response for the same workload and parameters, with at least one
+// progress line ahead of it.
+func TestStreamEndpointMatchesStudy(t *testing.T) {
+	srv := serve.New(serve.Options{
+		Exec: sampling.NewExec(parallel.NewScheduler(2), nil),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	study, err := http.Post(ts.URL+serve.StudyPath, "application/json",
+		strings.NewReader(`{"workload":"Rodinia/gauss_208","silicon":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := io.ReadAll(study.Body)
+	study.Body.Close()
+	if study.StatusCode != http.StatusOK {
+		t.Fatalf("study: %d %s", study.StatusCode, want)
+	}
+
+	resp, err := http.Post(ts.URL+serve.StreamPath, "application/x-ndjson",
+		streamBody(t, `{"silicon":true}`, "Rodinia/gauss_208"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("stream: %d %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimRight(body, "\n"), []byte("\n"))
+	if len(lines) < 2 {
+		t.Fatalf("expected progress lines before the response, got %d line(s): %s", len(lines), body)
+	}
+	var sawSpec bool
+	for _, ln := range lines[:len(lines)-1] {
+		var pl serve.StreamLine
+		if err := json.Unmarshal(ln, &pl); err != nil || pl.Progress == nil {
+			t.Fatalf("non-progress line before the final response: %s (err %v)", ln, err)
+		}
+		if pl.Error != "" {
+			t.Fatalf("stream errored: %s", pl.Error)
+		}
+		if pl.Progress.Speculated > 0 {
+			sawSpec = true
+		}
+	}
+	if !sawSpec {
+		t.Error("final progress line reports no speculative warms despite an Exec")
+	}
+	got := append(lines[len(lines)-1], '\n')
+	if !bytes.Equal(got, want) {
+		t.Errorf("final stream line differs from the study response:\ngot:  %s\nwant: %s", got, want)
+	}
+}
+
+// TestStreamEndpointRejects covers the door: bad request lines, workloads
+// named in the request line, full mode, and corrupt event streams.
+func TestStreamEndpointRejects(t *testing.T) {
+	srv := serve.New(serve.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(body io.Reader) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+serve.StreamPath, "application/x-ndjson", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Request-line rejections are plain HTTP 400s.
+	for _, line := range []string{
+		``,
+		`{`,
+		`{"workload":"Rodinia/gauss_mat4"}`,
+		`{"mode":"full"}`,
+		`{"unknown":1}`,
+	} {
+		resp := post(strings.NewReader(line + "\n"))
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("request line %q: status %d, want 400", line, resp.StatusCode)
+		}
+	}
+
+	// Event-stream failures arrive in-band: 200, then an error line.
+	resp := post(strings.NewReader("{}\n" + `{"stream":"wrong-schema","kernels":1}` + "\n"))
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-band failure changed the status: %d", resp.StatusCode)
+	}
+	var pl serve.StreamLine
+	if err := json.Unmarshal(bytes.TrimSpace(body), &pl); err != nil || pl.Error == "" {
+		t.Errorf("expected an in-band error line, got %s", body)
+	}
+
+	// A truncated event stream (header promises more launches than arrive)
+	// must fail rather than report a partial study.
+	w := workload.Find("Rodinia/gauss_mat4")
+	var buf bytes.Buffer
+	buf.WriteString("{}\n")
+	if err := workload.WriteEvents(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimRight(buf.Bytes(), "\n"), []byte("\n"))
+	truncated := bytes.Join(lines[:len(lines)-1], []byte("\n"))
+	resp = post(bytes.NewReader(append(truncated, '\n')))
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	pl = serve.StreamLine{}
+	if err := json.Unmarshal(bytes.TrimSpace(body), &pl); err != nil || !strings.Contains(pl.Error, "missing") {
+		t.Errorf("truncated stream: expected a missing-launches error, got %s", body)
+	}
+}

@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"pka/internal/trace"
+)
+
+const streamHeaderSeed = `{"stream":"pka-kernel-events-v1","suite":"mine","name":"pipe","kernels":2}`
+
+const streamEventSeed = `{"launch":0,"kernel":{"name":"map","grid":[640,1,1],"block":[256,1,1],` +
+	`"regs":32,"shared_mem":0,"mix":{"global_loads":4,"global_stores":0,"local_loads":0,` +
+	`"shared_loads":0,"shared_stores":0,"global_atomics":0,"compute":150,"tensor_ops":0},` +
+	`"coalescing":4,"working_set":8388608,"strided":0.95,"divergence":1,"imbalance":0,"seed":7}}`
+
+// fuzz seed corpus: one valid stream and the malformed shapes the event
+// decoder must reject with an error — never a panic, never an unbounded
+// allocation, never a silently-accepted bad launch.
+var streamSeeds = []string{
+	// Valid two-event stream.
+	streamHeaderSeed + "\n" + streamEventSeed + "\n" +
+		strings.Replace(streamEventSeed, `"launch":0`, `"launch":1`, 1) + "\n",
+	// Duplicate launch id.
+	streamHeaderSeed + "\n" + streamEventSeed + "\n" + streamEventSeed + "\n",
+	// Launch id outside the declared range.
+	streamHeaderSeed + "\n" + strings.Replace(streamEventSeed, `"launch":0`, `"launch":9`, 1) + "\n",
+	streamHeaderSeed + "\n" + strings.Replace(streamEventSeed, `"launch":0`, `"launch":-1`, 1) + "\n",
+	// Malformed dims.
+	streamHeaderSeed + "\n" + strings.Replace(streamEventSeed, `"grid":[640,1,1]`, `"grid":[-4,1,1]`, 1) + "\n",
+	streamHeaderSeed + "\n" + strings.Replace(streamEventSeed, `"block":[256,1,1]`, `"block":[2048,1,1]`, 1) + "\n",
+	streamHeaderSeed + "\n" + strings.Replace(streamEventSeed, `"grid":[640,1,1]`, `"grid":[2000000000,60000,60000]`, 1) + "\n",
+	// Negative instruction mix.
+	streamHeaderSeed + "\n" + strings.Replace(streamEventSeed, `"global_loads":4`, `"global_loads":-4`, 1) + "\n",
+	// Truncated event line.
+	streamHeaderSeed + "\n" + streamEventSeed[:len(streamEventSeed)/2] + "\n",
+	// Header problems: wrong schema, absurd kernel count, zero kernels,
+	// unknown fields, trailing garbage, missing header.
+	strings.Replace(streamHeaderSeed, "events-v1", "events-v9", 1) + "\n" + streamEventSeed + "\n",
+	strings.Replace(streamHeaderSeed, `"kernels":2`, `"kernels":2000000000`, 1) + "\n",
+	strings.Replace(streamHeaderSeed, `"kernels":2`, `"kernels":0`, 1) + "\n",
+	strings.Replace(streamHeaderSeed, `"suite":"mine"`, `"suite":"mine","extra":1`, 1) + "\n",
+	streamHeaderSeed + ` {"junk":1}` + "\n",
+	streamEventSeed + "\n",
+	// Structural junk.
+	"", "{", "[]\n", "\n\n\n",
+}
+
+// drainStream decodes an entire stream, returning the kernels accepted
+// before the first error (io.EOF excluded).
+func drainStream(t *testing.T, data []byte) (StreamHeader, int, error) {
+	t.Helper()
+	d := NewEventDecoder(bytes.NewReader(data))
+	h, err := d.Header()
+	if err != nil {
+		return h, 0, err
+	}
+	n := 0
+	for {
+		k, err := d.Next()
+		if err == io.EOF {
+			return h, n, nil
+		}
+		if err != nil {
+			return h, n, err
+		}
+		// Every accepted event must already satisfy the trace validator and
+		// carry its launch index as ID.
+		if err := k.Validate(); err != nil {
+			t.Fatalf("accepted event fails validation: %v", err)
+		}
+		if k.ID < 0 || k.ID >= h.Kernels {
+			t.Fatalf("accepted event with out-of-range launch %d", k.ID)
+		}
+		n++
+	}
+}
+
+// FuzzStreamEvents fuzzes the NDJSON kernel-event decoder: any byte input
+// must either decode into bounded, fully-validated events or return an
+// error — mirroring the FuzzLoadWorkloadJSON hardening contract.
+func FuzzStreamEvents(f *testing.F) {
+	for _, s := range streamSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, n, err := drainStream(t, data)
+		if err != nil {
+			return
+		}
+		if h.Kernels < 1 || h.Kernels > MaxJSONKernels {
+			t.Fatalf("accepted header with out-of-bounds kernel count %d", h.Kernels)
+		}
+		if n > h.Kernels {
+			t.Fatalf("decoded %d events from a stream declaring %d", n, h.Kernels)
+		}
+	})
+}
+
+// TestStreamSeedCorpus pins which seeds must decode cleanly and which must
+// error.
+func TestStreamSeedCorpus(t *testing.T) {
+	for i, s := range streamSeeds {
+		h, n, err := drainStream(t, []byte(s))
+		if i == 0 {
+			if err != nil {
+				t.Fatalf("valid seed rejected: %v", err)
+			}
+			if n != 2 || h.Suite != "mine" || h.Name != "pipe" {
+				t.Fatalf("valid seed decoded as %s/%s with %d events", h.Suite, h.Name, n)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("malformed seed %d accepted:\n%s", i, s)
+		}
+	}
+}
+
+// TestStreamRoundTrip pins the core streaming invariant: WriteEvents
+// followed by a full decode reproduces every KernelDesc exactly, so a
+// replayed stream is indistinguishable from the generator workload.
+func TestStreamRoundTrip(t *testing.T) {
+	src := Find("Rodinia/gauss_208")
+	if src == nil {
+		t.Fatal("Rodinia/gauss_208 not registered")
+	}
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	d := NewEventDecoder(bytes.NewReader(buf.Bytes()))
+	h, err := d.Header()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Suite != src.Suite || h.Name != src.Name || h.Kernels != src.N {
+		t.Fatalf("header %+v does not match workload %s (N=%d)", h, src.FullName(), src.N)
+	}
+	descs := make([]trace.KernelDesc, h.Kernels)
+	for {
+		k, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		descs[k.ID] = k
+	}
+	if d.Missing() != 0 {
+		t.Fatalf("%d launches missing after full stream", d.Missing())
+	}
+	for i, k := range descs {
+		if want := src.Kernel(i); k != want {
+			t.Fatalf("launch %d round-tripped as %+v, want %+v", i, k, want)
+		}
+	}
+	// And the reconstructed workload serves identical kernels by index.
+	rebuilt, err := FromKernels(h.Suite, h.Name, descs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rebuilt.N; i++ {
+		if got, want := rebuilt.Kernel(i), src.Kernel(i); got != want {
+			t.Fatalf("rebuilt kernel %d differs", i)
+		}
+	}
+}
