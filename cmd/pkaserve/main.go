@@ -54,11 +54,17 @@ func main() {
 		obsFl      cli.ObsFlags
 		cacheFl    cli.CacheFlags
 		remoteFl   cli.RemoteFlags
+		predictFl  cli.PredictFlags
 	)
 	obsFl.Register(nil)
 	cacheFl.Register(nil)
 	remoteFl.Register(nil)
+	predictFl.Register(nil)
 	flag.Parse()
+
+	if predictFl.Train != "" {
+		fatal(fmt.Errorf("-predict-train is an offline pka mode; the service only serves with -predict"))
+	}
 
 	weights, err := cli.ParseWeights(*tenants)
 	if err != nil {
@@ -79,6 +85,9 @@ func main() {
 	}
 	exec := sampling.NewExec(parallel.NewScheduler(*par), store)
 	exec.SetMetrics(observer.ExecMetrics())
+	if err := predictFl.Start(exec, observer); err != nil {
+		fatal(err)
+	}
 	dispatcher, err := remoteFl.Start(store, observer)
 	if err != nil {
 		fatal(err)
@@ -139,6 +148,9 @@ func main() {
 	_ = hs.Shutdown(ctx)
 	if !*quiet {
 		fmt.Fprint(os.Stderr, srv.LatencyReport().String())
+	}
+	if err := predictFl.Finish(exec); err != nil {
+		fatal(err)
 	}
 	if err := obsFl.Finish(); err != nil {
 		fatal(err)

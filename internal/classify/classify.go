@@ -51,46 +51,6 @@ func validate(X [][]float64, y []int, numClasses int) (dim int, err error) {
 	return dim, nil
 }
 
-// scaler standardizes features using training-set statistics.
-type scaler struct {
-	mean, scale []float64
-}
-
-func fitScaler(X [][]float64) *scaler {
-	dim := len(X[0])
-	s := &scaler{mean: make([]float64, dim), scale: make([]float64, dim)}
-	for _, row := range X {
-		for j, v := range row {
-			s.mean[j] += v
-		}
-	}
-	n := float64(len(X))
-	for j := range s.mean {
-		s.mean[j] /= n
-	}
-	for _, row := range X {
-		for j, v := range row {
-			d := v - s.mean[j]
-			s.scale[j] += d * d
-		}
-	}
-	for j := range s.scale {
-		s.scale[j] = math.Sqrt(s.scale[j] / n)
-		if s.scale[j] == 0 {
-			s.scale[j] = 1
-		}
-	}
-	return s
-}
-
-func (s *scaler) apply(x []float64) []float64 {
-	out := make([]float64, len(x))
-	for j, v := range x {
-		out[j] = (v - s.mean[j]) / s.scale[j]
-	}
-	return out
-}
-
 // argmax returns the index of the largest value.
 func argmax(xs []float64) int {
 	best, bestV := 0, math.Inf(-1)

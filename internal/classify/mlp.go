@@ -15,7 +15,7 @@ type MLP struct {
 
 	seed       uint64
 	numClasses int
-	scaler     *scaler
+	scaler     *Scaler
 	w1         [][]float64 // hidden × dim
 	b1         []float64
 	w2         [][]float64 // classes × hidden
@@ -37,10 +37,10 @@ func (m *MLP) Fit(X [][]float64, y []int, numClasses int) error {
 		return err
 	}
 	m.numClasses = numClasses
-	m.scaler = fitScaler(X)
+	m.scaler = FitScaler(X)
 	scaled := make([][]float64, len(X))
 	for i, row := range X {
-		scaled[i] = m.scaler.apply(row)
+		scaled[i] = m.scaler.Apply(row)
 	}
 
 	rng := stats.NewRNG(m.seed ^ 0xAB1E)
@@ -144,6 +144,6 @@ func (m *MLP) Predict(x []float64) int {
 	}
 	hidden := make([]float64, m.Hidden)
 	probs := make([]float64, m.numClasses)
-	m.forward(m.scaler.apply(x), hidden, probs)
+	m.forward(m.scaler.Apply(x), hidden, probs)
 	return argmax(probs)
 }

@@ -1,0 +1,62 @@
+package classify
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFitScalerConstantColumn is the regression test for the silent
+// constant-column skew: with three copies of 0.1 the column sum rounds,
+// the mean lands one ulp off 0.1, and the naive stddev comes out ~1e-17
+// instead of 0 — so the old exact `scale == 0` guard never fired and
+// standardizing divided the ulp-sized residual by the ulp-sized stddev,
+// turning a zero-information column into ±1-magnitude noise.
+func TestFitScalerConstantColumn(t *testing.T) {
+	X := [][]float64{
+		{0.1, 1.0},
+		{0.1, 2.0},
+		{0.1, 3.0},
+	}
+	// Confirm the premise: the naive mean of this column is not exactly 0.1.
+	naiveMean := (0.1 + 0.1 + 0.1) / 3
+	if naiveMean == 0.1 {
+		t.Skip("platform sums 3×0.1 exactly; constant-column skew not reproducible")
+	}
+
+	s := FitScaler(X)
+	if s.Scale[0] != 1 {
+		t.Fatalf("constant column scale = %v, want exactly 1", s.Scale[0])
+	}
+	if s.Mean[0] != 0.1 {
+		t.Fatalf("constant column mean = %v, want exactly 0.1", s.Mean[0])
+	}
+	for _, row := range X {
+		got := s.Apply(row)
+		if got[0] != 0 {
+			t.Fatalf("standardized constant feature = %v, want exactly 0", got[0])
+		}
+	}
+
+	// The varying column still standardizes normally.
+	got := s.Apply(X[1])
+	if math.Abs(got[1]) > 1e-12 {
+		t.Fatalf("standardized middle value = %v, want ~0", got[1])
+	}
+	lo, hi := s.Apply(X[0])[1], s.Apply(X[2])[1]
+	if lo >= 0 || hi <= 0 || math.Abs(lo+hi) > 1e-12 {
+		t.Fatalf("varying column standardized to (%v, %v), want symmetric around 0", lo, hi)
+	}
+}
+
+// TestFitScalerZeroColumn pins the easy case the old guard did handle: an
+// all-zero column keeps Scale 1 and maps to exactly 0.
+func TestFitScalerZeroColumn(t *testing.T) {
+	X := [][]float64{{0, 5}, {0, 7}}
+	s := FitScaler(X)
+	if s.Scale[0] != 1 || s.Mean[0] != 0 {
+		t.Fatalf("zero column: mean=%v scale=%v, want 0 and 1", s.Mean[0], s.Scale[0])
+	}
+	if got := s.Apply(X[0]); got[0] != 0 {
+		t.Fatalf("standardized zero feature = %v, want 0", got[0])
+	}
+}

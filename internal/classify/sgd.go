@@ -15,7 +15,7 @@ type SGD struct {
 
 	seed       uint64
 	numClasses int
-	scaler     *scaler
+	scaler     *Scaler
 	weights    [][]float64 // numClasses × (dim+1), last column is bias
 }
 
@@ -35,10 +35,10 @@ func (s *SGD) Fit(X [][]float64, y []int, numClasses int) error {
 		return err
 	}
 	s.numClasses = numClasses
-	s.scaler = fitScaler(X)
+	s.scaler = FitScaler(X)
 	scaled := make([][]float64, len(X))
 	for i, row := range X {
-		scaled[i] = s.scaler.apply(row)
+		scaled[i] = s.scaler.Apply(row)
 	}
 
 	s.weights = make([][]float64, numClasses)
@@ -99,6 +99,6 @@ func (s *SGD) Predict(x []float64) int {
 		return 0
 	}
 	probs := make([]float64, s.numClasses)
-	s.softmax(s.scaler.apply(x), probs)
+	s.softmax(s.scaler.Apply(x), probs)
 	return argmax(probs)
 }

@@ -228,10 +228,7 @@ func Select(dev gpu.Device, ws []*workload.Workload, opts Options) (*Suite, erro
 	sample := pks.SampleIndices(len(pool), o.ClusterSampleMax)
 	feat := linalg.NewMatrix(len(sample), trace.NumFeatures)
 	for r, idx := range sample {
-		row := feat.Row(r)
-		for j, v := range pool[idx].rec.Features {
-			row[j] = pks.ScaleFeature(v, j)
-		}
+		pks.ScaleFeatures(feat.Row(r), pool[idx].rec.Features)
 	}
 	pca, err := linalg.FitPCA(feat, o.PCAVarianceTarget, 2)
 	if err != nil {
@@ -331,10 +328,7 @@ func Select(dev gpu.Device, ws []*workload.Workload, opts Options) (*Suite, erro
 		if pos, ok := samplePos[i]; ok {
 			c = best.Assignment[pos]
 		} else {
-			row := make([]float64, trace.NumFeatures)
-			for j, v := range pool[i].rec.Features {
-				row[j] = pks.ScaleFeature(v, j)
-			}
+			row := pks.ScaleFeatures(nil, pool[i].rec.Features)
 			p, err := pca.TransformRow(row)
 			if err != nil {
 				return nil, err

@@ -274,10 +274,7 @@ func clusterDetailed(detailed []profiler.DetailedRecord, o Options) ([]Group, []
 	sample := SampleIndices(len(detailed), o.ClusterSampleMax)
 	feat := linalg.NewMatrix(len(sample), trace.NumFeatures)
 	for r, idx := range sample {
-		row := feat.Row(r)
-		for j, v := range detailed[idx].Features {
-			row[j] = ScaleFeature(v, j)
-		}
+		ScaleFeatures(feat.Row(r), detailed[idx].Features)
 	}
 
 	// Project into cluster space: PCA by default, raw standardized
@@ -360,10 +357,7 @@ func clusterDetailed(detailed []profiler.DetailedRecord, o Options) ([]Group, []
 				clusterOf[i] = best.Assignment[pos]
 				continue
 			}
-			row := make([]float64, trace.NumFeatures)
-			for j, v := range detailed[i].Features {
-				row[j] = ScaleFeature(v, j)
-			}
+			row := ScaleFeatures(nil, detailed[i].Features)
 			p := row
 			if pca != nil {
 				var err error
@@ -597,6 +591,21 @@ func ScaleFeature(v float64, featureIdx int) float64 {
 		return v
 	}
 	return math.Log1p(v)
+}
+
+// ScaleFeatures scales one full Table-2 feature row with ScaleFeature,
+// writing into dst when it already has the right length and allocating
+// otherwise. Every consumer that builds a cluster-space row — per-app
+// PKS, the streaming pipeline, suite-level dedup — goes through this one
+// helper, so the feature spaces stay identical by construction.
+func ScaleFeatures(dst, src []float64) []float64 {
+	if len(dst) != len(src) {
+		dst = make([]float64, len(src))
+	}
+	for j, v := range src {
+		dst[j] = ScaleFeature(v, j)
+	}
+	return dst
 }
 
 func minInt(a, b int) int {

@@ -215,10 +215,7 @@ func (s *Stream) process(k trace.KernelDesc) error {
 
 // project maps a detailed record into the advisory cluster space.
 func (s *Stream) project(rec *profiler.DetailedRecord) ([]float64, error) {
-	row := make([]float64, trace.NumFeatures)
-	for j, v := range rec.Features {
-		row[j] = ScaleFeature(v, j)
-	}
+	row := ScaleFeatures(nil, rec.Features)
 	if s.pca == nil {
 		return row, nil
 	}
@@ -264,10 +261,7 @@ func (s *Stream) startAdvisory() error {
 	if !s.o.DisablePCA {
 		feat := linalg.NewMatrix(len(s.detailed), trace.NumFeatures)
 		for r := range s.detailed {
-			row := feat.Row(r)
-			for j, v := range s.detailed[r].Features {
-				row[j] = ScaleFeature(v, j)
-			}
+			ScaleFeatures(feat.Row(r), s.detailed[r].Features)
 		}
 		pca, err := linalg.FitPCA(feat, s.o.PCAVarianceTarget, 2)
 		if err != nil {

@@ -1,0 +1,232 @@
+package predict
+
+import (
+	"reflect"
+	"testing"
+
+	"pka/internal/artifact"
+	"pka/internal/core"
+	"pka/internal/gpu"
+	"pka/internal/parallel"
+	"pka/internal/sampling"
+	"pka/internal/workload"
+)
+
+// TestStudyDeterministicWithPredictor pins satellite invariants end to
+// end: warm a store by running a study, train a model from the store,
+// then re-run the study with the predictor tier on at different
+// parallelism levels. Every kernel task hits a training key, so the tier
+// serves the stored exact outcomes and the study is byte-identical to the
+// predictor-off baseline at any -p.
+func TestStudyDeterministicWithPredictor(t *testing.T) {
+	w := workload.Find("Rodinia/gauss_mat4")
+	if w == nil {
+		t.Fatal("study workload missing")
+	}
+	dev := gpu.VoltaV100()
+	store, err := artifact.Open(t.TempDir(), artifact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	baseCfg := func(par int) core.Config {
+		return core.Config{
+			Device:      dev,
+			Parallelism: par,
+			Exec:        sampling.NewExec(parallel.NewScheduler(par), store),
+		}
+	}
+	want, err := core.Evaluate(baseCfg(4), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	samples, sum := ScanStore(dev, store, []*workload.Workload{w}, ScanOptions{})
+	if sum.Hits == 0 {
+		t.Fatalf("store scan found no samples: %+v", sum)
+	}
+	model, err := Train(dev, samples, TrainOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, par := range []int{1, 8} {
+		cfg := baseCfg(par)
+		// Fresh exec with NO store: only the predictor can avoid
+		// re-simulating, so tier attribution below proves it served.
+		cfg.Exec = sampling.NewExec(parallel.NewScheduler(par), nil)
+		tier := NewTier(model, TierOptions{VerifyFraction: -1})
+		cfg.Exec.SetPredictor(tier)
+		fr := sampling.NewFlightRecorder()
+		cfg.Flight = fr
+
+		got, err := core.Evaluate(cfg, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Exec.DrainVerify()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("p=%d: predictor-on study diverged from baseline\ngot:  %+v\nwant: %+v", par, got, want)
+		}
+		counts := fr.TierCounts()
+		total := 0
+		for _, n := range counts {
+			total += n
+		}
+		if total != fr.Len() {
+			t.Fatalf("p=%d: tier counts sum %d != %d launches", par, total, fr.Len())
+		}
+		if counts["predict"] == 0 {
+			t.Fatalf("p=%d: predictor served nothing: %v", par, counts)
+		}
+		if counts["sim"] != 0 || counts["worker"] != 0 {
+			t.Fatalf("p=%d: warm study still simulated: %v", par, counts)
+		}
+		if s := tier.Stats(); s.Served != int64(counts["predict"]) {
+			t.Fatalf("p=%d: tier served %d but provenance says %d", par, s.Served, counts["predict"])
+		}
+	}
+}
+
+// TestLowConfidenceFallThrough pins the gate's fail-open contract: a
+// model whose training keys never match the study's task specs, behind a
+// MinConfidence > 1, serves nothing — every kernel falls through to the
+// exact ladder and the study result is unchanged.
+func TestLowConfidenceFallThrough(t *testing.T) {
+	w := workload.Find("Rodinia/gauss_mat4")
+	if w == nil {
+		t.Fatal("study workload missing")
+	}
+	dev := gpu.VoltaV100()
+
+	want, err := core.Evaluate(core.Config{Device: dev, Parallelism: 2,
+		Exec: sampling.NewExec(parallel.NewScheduler(2), nil)}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Train on task specs no study issues (odd cycle cap), so the study's
+	// keys can't exact-match and the >1 gate blocks every regression serve.
+	samples := testSamples(t, dev)
+	model, err := Train(dev, samples, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier := NewTier(model, TierOptions{MinConfidence: 1.5, VerifyFraction: -1})
+
+	exec := sampling.NewExec(parallel.NewScheduler(2), nil)
+	exec.SetPredictor(tier)
+	fr := sampling.NewFlightRecorder()
+	got, err := core.Evaluate(core.Config{Device: dev, Parallelism: 2, Exec: exec, Flight: fr}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec.DrainVerify()
+
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("fall-through study diverged from baseline")
+	}
+	counts := fr.TierCounts()
+	if counts["predict"] != 0 {
+		t.Fatalf("gated predictor served %d tasks", counts["predict"])
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != fr.Len() {
+		t.Fatalf("tier counts sum %d != %d launches", total, fr.Len())
+	}
+	s := tier.Stats()
+	if s.Requests == 0 || s.Served != 0 {
+		t.Fatalf("tier stats %+v: want requests > 0, served == 0", s)
+	}
+}
+
+// TestVerifierResimulatesAndWarmsCache drives the async verifier: a
+// regression-served prediction (non-exact, permissive gate, verify-all)
+// must trigger a background re-simulation whose exact outcome lands in
+// the caches, while the launch itself stays attributed to the predict
+// tier exactly once.
+func TestVerifierResimulatesAndWarmsCache(t *testing.T) {
+	w := workload.Find("Rodinia/gauss_mat4")
+	if w == nil {
+		t.Fatal("study workload missing")
+	}
+	dev := gpu.VoltaV100()
+	store, err := artifact.Open(t.TempDir(), artifact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	// Warm the store with real outcomes under one task spec, train on it.
+	exec := sampling.NewExec(nil, store)
+	trainTask := sampling.KernelTask{Mode: sampling.ModePKS, MaxCycles: 1 << 22}
+	for i := 0; i < w.N; i++ {
+		k := w.Kernel(i)
+		if _, err := exec.RunKernelTask(dev, &k, trainTask); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var samples []Sample
+	for i := 0; i < w.N; i++ {
+		k := w.Kernel(i)
+		key := sampling.TaskKey(dev, &k, trainTask)
+		raw, ok := store.Get(key)
+		if !ok {
+			t.Fatalf("store missing %s", key)
+		}
+		oc, err := sampling.DecodeOutcome(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples = append(samples, Sample{Key: key, Kernel: k, Task: trainTask, Outcome: oc})
+	}
+	model, err := Train(dev, samples, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Query a spec the model never saw: regression serve + verify-all.
+	tier := NewTier(model, TierOptions{MinConfidence: 1e-12, VerifyFraction: 1, MinVerified: 1 << 30})
+	exec2 := sampling.NewExec(nil, store)
+	exec2.SetPredictor(tier)
+	fr := sampling.NewFlightRecorder()
+	queryTask := sampling.KernelTask{Mode: sampling.ModePKS, MaxCycles: 1 << 21}
+	k := w.Kernel(0)
+	queryKey := sampling.TaskKey(dev, &k, queryTask)
+	if _, ok := store.Get(queryKey); ok {
+		t.Fatal("query key unexpectedly pre-cached")
+	}
+	if _, err := exec2.RunKernelTaskObs(dev, &k, queryTask, sampling.TaskObs{Flight: fr, Phase: "q"}); err != nil {
+		t.Fatal(err)
+	}
+	exec2.DrainVerify()
+
+	counts := fr.TierCounts()
+	if counts["predict"] != 1 || fr.Len() != 1 {
+		t.Fatalf("provenance %v (len %d): want exactly one predict entry", counts, fr.Len())
+	}
+	s := tier.Stats()
+	if s.Verified != 1 {
+		t.Fatalf("verifier ran %d times, want 1", s.Verified)
+	}
+	// The verifier's exact result must have warmed the artifact store.
+	raw, ok := store.Get(queryKey)
+	if !ok {
+		t.Fatal("verifier did not warm the artifact store")
+	}
+	actual, err := sampling.DecodeOutcome(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := sampling.NewExec(nil, nil).RunKernelTask(dev, &k, queryTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if actual != direct {
+		t.Fatalf("verifier cached %+v, ladder says %+v", actual, direct)
+	}
+}

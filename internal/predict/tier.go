@@ -1,0 +1,243 @@
+package predict
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"pka/internal/gpu"
+	"pka/internal/obs"
+	"pka/internal/sampling"
+	"pka/internal/trace"
+)
+
+// Tier defaults applied by NewTier for zero-valued options.
+const (
+	DefaultMinConfidence = 0.9
+	DefaultVerifyFrac    = 0.05
+	DefaultErrorBound    = 0.05
+	DefaultMinVerified   = 8
+)
+
+// TierOptions configures the serving tier around a trained model.
+type TierOptions struct {
+	// MinConfidence gates serving: predictions below it fall through to
+	// the real ladder. Values > 1 serve only exact training-key matches.
+	MinConfidence float64
+	// VerifyFraction of served predictions are re-simulated down the real
+	// ladder by the async verifier. 0 disables verification entirely
+	// (negative values also mean 0); >= 1 verifies everything.
+	VerifyFraction float64
+	// VerifySeed decorrelates the key-hash verify sampler across runs.
+	VerifySeed uint64
+	// ErrorBound is the mean relative projected-cycle error over verified
+	// predictions above which the tier auto-disables.
+	ErrorBound float64
+	// MinVerified is how many verifications must accumulate before the
+	// error bound is enforced, so one early outlier can't kill the tier.
+	MinVerified int
+	// Metrics receives pka_predictor_* observations; nil disables them.
+	Metrics *obs.PredictorMetrics
+}
+
+// Tier serves model predictions as Exec ladder tier 0, implementing
+// sampling.Predictor. Safe for concurrent use.
+type Tier struct {
+	model *Model
+	opt   TierOptions
+	m     *obs.PredictorMetrics
+
+	disabled atomic.Bool
+	requests atomic.Int64
+	served   atomic.Int64
+	exact    atomic.Int64
+	lowConf  atomic.Int64
+	miss     atomic.Int64
+
+	mu        sync.Mutex
+	nVerified int
+	sumRelErr float64
+	maxRelErr float64
+}
+
+// NewTier wraps a trained model with serving policy. Zero options take
+// the package defaults (a negative VerifyFraction means no verification).
+func NewTier(model *Model, o TierOptions) *Tier {
+	if o.MinConfidence == 0 {
+		o.MinConfidence = DefaultMinConfidence
+	}
+	if o.VerifyFraction == 0 {
+		o.VerifyFraction = DefaultVerifyFrac
+	}
+	if o.VerifyFraction < 0 {
+		o.VerifyFraction = 0
+	}
+	if o.ErrorBound <= 0 {
+		o.ErrorBound = DefaultErrorBound
+	}
+	if o.MinVerified <= 0 {
+		o.MinVerified = DefaultMinVerified
+	}
+	return &Tier{model: model, opt: o, m: o.Metrics}
+}
+
+// Predict implements sampling.Predictor: score the task, serve it if the
+// model is confident enough, and decide whether this serve is in the
+// verification sample. Every path is deterministic in (model, options,
+// task) — the only stateful input is the disabled latch, which only ever
+// trips when the model is measurably wrong.
+func (t *Tier) Predict(dev gpu.Device, k *trace.KernelDesc, task sampling.KernelTask, key string) (sampling.KernelOutcome, bool, bool) {
+	t.requests.Add(1)
+	if t.m != nil {
+		t.m.Requests.Inc()
+	}
+	if t.disabled.Load() {
+		return sampling.KernelOutcome{}, false, false
+	}
+	oc, conf, exact, ok := t.model.Predict(dev, k, task, key)
+	if !ok {
+		t.miss.Add(1)
+		if t.m != nil {
+			t.m.ModelMiss.Inc()
+		}
+		return sampling.KernelOutcome{}, false, false
+	}
+	if t.m != nil {
+		t.m.Confidence.Observe(conf)
+	}
+	// Exact training-key matches replay a stored ladder outcome verbatim;
+	// they bypass the gate, which is why MinConfidence > 1 means
+	// "exact-only" rather than "off".
+	if !exact && conf < t.opt.MinConfidence {
+		t.lowConf.Add(1)
+		if t.m != nil {
+			t.m.LowConf.Inc()
+		}
+		return sampling.KernelOutcome{}, false, false
+	}
+	t.served.Add(1)
+	if exact {
+		t.exact.Add(1)
+	}
+	if t.m != nil {
+		t.m.Served.Inc()
+	}
+	// Exact-match serves replay a stored ladder outcome verbatim; spending
+	// verification simulations on them would measure nothing but noise.
+	verify := !exact && t.wantVerify(key)
+	return oc, verify, true
+}
+
+// wantVerify hashes (seed, key) to a uniform [0,1) draw — a deterministic
+// per-key coin so the verified subset is reproducible for a given seed
+// and independent of execution order.
+func (t *Tier) wantVerify(key string) bool {
+	frac := t.opt.VerifyFraction
+	if frac <= 0 {
+		return false
+	}
+	if frac >= 1 {
+		return true
+	}
+	h := fnv.New64a()
+	var seed [8]byte
+	for i := 0; i < 8; i++ {
+		seed[i] = byte(t.opt.VerifySeed >> (8 * i))
+	}
+	h.Write(seed[:])
+	io.WriteString(h, key)
+	u := float64(h.Sum64()>>11) / (1 << 53)
+	return u < frac
+}
+
+// Verified implements sampling.Predictor: fold one verifier result into
+// the online error estimate and trip the auto-disable latch if the mean
+// relative error exceeds the bound with enough evidence behind it.
+func (t *Tier) Verified(key string, predicted, actual sampling.KernelOutcome) {
+	relErr := math.Abs(float64(predicted.ProjCycles)-float64(actual.ProjCycles)) /
+		math.Max(1, math.Abs(float64(actual.ProjCycles)))
+	if t.m != nil {
+		t.m.Verified.Inc()
+		t.m.VerifyRelErr.Observe(relErr)
+	}
+	t.mu.Lock()
+	t.nVerified++
+	t.sumRelErr += relErr
+	if relErr > t.maxRelErr {
+		t.maxRelErr = relErr
+	}
+	trip := t.nVerified >= t.opt.MinVerified && t.sumRelErr/float64(t.nVerified) > t.opt.ErrorBound
+	t.mu.Unlock()
+	if trip && !t.disabled.Swap(true) {
+		if t.m != nil {
+			t.m.AutoDisabled.Inc()
+		}
+	}
+}
+
+// TierStats is a point-in-time accuracy/coverage snapshot.
+type TierStats struct {
+	Requests int64 `json:"requests"`
+	Served   int64 `json:"served"`
+	Exact    int64 `json:"exact"`
+	LowConf  int64 `json:"low_confidence"`
+	Miss     int64 `json:"model_miss"`
+
+	Verified   int     `json:"verified"`
+	MeanRelErr float64 `json:"mean_rel_error"`
+	MaxRelErr  float64 `json:"max_rel_error"`
+	Disabled   bool    `json:"auto_disabled"`
+}
+
+// Stats snapshots the tier's counters and error estimate.
+func (t *Tier) Stats() TierStats {
+	s := TierStats{
+		Requests: t.requests.Load(),
+		Served:   t.served.Load(),
+		Exact:    t.exact.Load(),
+		LowConf:  t.lowConf.Load(),
+		Miss:     t.miss.Load(),
+		Disabled: t.disabled.Load(),
+	}
+	t.mu.Lock()
+	s.Verified = t.nVerified
+	if t.nVerified > 0 {
+		s.MeanRelErr = t.sumRelErr / float64(t.nVerified)
+	}
+	s.MaxRelErr = t.maxRelErr
+	t.mu.Unlock()
+	return s
+}
+
+// Disabled reports whether the auto-disable latch has tripped.
+func (t *Tier) Disabled() bool { return t.disabled.Load() }
+
+// WriteReport renders the human-readable accuracy/coverage report.
+func (t *Tier) WriteReport(w io.Writer) error {
+	s := t.Stats()
+	coverage := 0.0
+	if s.Requests > 0 {
+		coverage = float64(s.Served) / float64(s.Requests)
+	}
+	if _, err := fmt.Fprintf(w, "predictor: %d requests, %d served (%.1f%% coverage, %d exact-key)\n",
+		s.Requests, s.Served, 100*coverage, s.Exact); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  fell through: %d low-confidence, %d model-miss\n",
+		s.LowConf, s.Miss); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  verified: %d re-simulated, mean rel err %.4f, max %.4f (bound %.4f after %d)\n",
+		s.Verified, s.MeanRelErr, s.MaxRelErr, t.opt.ErrorBound, t.opt.MinVerified); err != nil {
+		return err
+	}
+	if s.Disabled {
+		if _, err := fmt.Fprintf(w, "  AUTO-DISABLED: observed error exceeded bound; tier fell back to exact ladder\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

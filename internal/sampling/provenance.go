@@ -1,8 +1,8 @@
 // Per-kernel execution provenance: the study "flight recorder". Every
 // kernel task the Exec ladder resolves gets one ProvEntry — which tier
-// served it (mem singleflight, disk artifact store, owner-shard peer,
-// remote worker, fresh sim), which peer, how long it queued and how long
-// service took, and
+// served it (learned predictor, mem singleflight, disk artifact store,
+// owner-shard peer, remote worker, fresh sim), which peer, how long it
+// queued and how long service took, and
 // any hedge/retry/breaker events along the way. Entries fold
 // deterministically in launch order regardless of execution
 // interleaving, so the recorder is a faithful account of *where* each
@@ -27,13 +27,14 @@ import (
 // values index obs.ExecMetrics and match obs.ExecTierNames.
 type Tier uint8
 
-// The five serving tiers, in ladder order.
+// The six serving tiers, in ladder order.
 const (
-	TierMem    Tier = iota // in-memory singleflight (or waited on another caller's compute)
-	TierDisk               // content-addressed artifact store
-	TierShard              // owner-shard peer in the sharded fleet cache
-	TierWorker             // remote pkad worker
-	TierSim                // fresh local simulation
+	TierPredict Tier = iota // tier-0 learned predictor (confidence-gated, opt-in)
+	TierMem                 // in-memory singleflight (or waited on another caller's compute)
+	TierDisk                // content-addressed artifact store
+	TierShard               // owner-shard peer in the sharded fleet cache
+	TierWorker              // remote pkad worker
+	TierSim                 // fresh local simulation
 )
 
 // String names the tier; unknown values render as "tier<N>".
@@ -213,12 +214,12 @@ func (fr *FlightRecorder) WriteReport(w io.Writer) error {
 			workers[e.Worker]++
 		}
 	}
-	for t := TierMem; t <= TierSim; t++ {
+	for t := TierPredict; t <= TierSim; t++ {
 		a := tiers[t]
 		if a == nil {
 			a = &agg{}
 		}
-		if _, err := fmt.Fprintf(w, "  tier %-6s %6d launches  wait %12s  service %12s\n",
+		if _, err := fmt.Fprintf(w, "  tier %-7s %6d launches  wait %12s  service %12s\n",
 			t.String(), a.n,
 			time.Duration(a.waitNs).Round(time.Microsecond),
 			time.Duration(a.svcNs).Round(time.Microsecond)); err != nil {

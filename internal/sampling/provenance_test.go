@@ -59,11 +59,12 @@ func TestFlightReportGolden(t *testing.T) {
 	}
 	want := strings.Join([]string{
 		"execution provenance: 2 kernel launches",
-		"  tier mem         0 launches  wait           0s  service           0s",
-		"  tier disk        0 launches  wait           0s  service           0s",
-		"  tier shard       0 launches  wait           0s  service           0s",
-		"  tier worker      1 launches  wait           0s  service          3ms",
-		"  tier sim         1 launches  wait          1ms  service          2ms",
+		"  tier predict      0 launches  wait           0s  service           0s",
+		"  tier mem          0 launches  wait           0s  service           0s",
+		"  tier disk         0 launches  wait           0s  service           0s",
+		"  tier shard        0 launches  wait           0s  service           0s",
+		"  tier worker       1 launches  wait           0s  service          3ms",
+		"  tier sim          1 launches  wait          1ms  service          2ms",
 		"  worker http://w1 served 1",
 		"  remote events: 1 hedges, 0 retries, 0 breaker skips",
 	}, "\n") + "\n"
